@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the hot components: channel spectrum
+//! evaluation, channel estimation, the PB error model, the MAC event
+//! simulation, and the hybrid balancer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use electrifi::experiments::PAPER_SEED;
+use electrifi::PaperEnv;
+use plc_mac::sim::{Flow, PlcSim, SimConfig};
+use plc_phy::channel::LinkDir;
+use plc_phy::error::pb_error_prob;
+use plc_phy::estimation::EstimatorConfig;
+use plc_phy::tonemap::ToneMap;
+use plc_phy::ChannelEstimator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::time::{Duration, Time};
+use simnet::traffic::TrafficSource;
+
+fn bench_channel_spectrum(c: &mut Criterion) {
+    let env = PaperEnv::new(PAPER_SEED);
+    let ch = env.plc_channel(1, 6);
+    let mut k = 0u64;
+    c.bench_function("plc_channel_spectrum_917_carriers", |b| {
+        b.iter(|| {
+            k += 1;
+            ch.spectrum(LinkDir::AtoB, Time::from_millis(k))
+        })
+    });
+    let wifi = env.wifi_channel(1, 6);
+    c.bench_function("wifi_channel_snr", |b| {
+        b.iter(|| {
+            k += 1;
+            wifi.snr_db(Time::from_millis(k))
+        })
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let env = PaperEnv::new(PAPER_SEED);
+    let ch = env.plc_channel(1, 6);
+    let spec = ch.spectrum(LinkDir::AtoB, Time::from_secs(1));
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut est = ChannelEstimator::new(EstimatorConfig::default(), spec.snr_db.len());
+    c.bench_function("estimator_observe", |b| {
+        b.iter(|| est.observe(&mut rng, 0, &spec, 20, 8))
+    });
+    c.bench_function("estimator_regenerate", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            est.regenerate(Time::from_secs(t), false)
+        })
+    });
+    let map = ToneMap::from_snr(
+        &spec.snr_db,
+        2.0,
+        plc_phy::modulation::FecRate::SixteenTwentyFirsts,
+        0.02,
+        1,
+    );
+    c.bench_function("pb_error_prob", |b| b.iter(|| pb_error_prob(&map, &spec)));
+}
+
+fn bench_mac_sim(c: &mut Criterion) {
+    let env = PaperEnv::new(PAPER_SEED);
+    let outlets = [
+        (1u16, env.testbed.station(1).outlet),
+        (2u16, env.testbed.station(2).outlet),
+    ];
+    let mut group = c.benchmark_group("mac_sim");
+    // Each iteration simulates 100 ms of saturated MAC traffic; keep the
+    // sample count small so the whole bench suite stays quick.
+    group.sample_size(10);
+    group.bench_function("plc_mac_sim_100ms_saturated", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = PlcSim::new(SimConfig::default(), &env.testbed.grid, &outlets);
+                sim.add_flow(Flow::unicast(1, 2, TrafficSource::iperf_saturated()));
+                sim
+            },
+            |mut sim| sim.run_until(Time::from_millis(100)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_balancer(c: &mut Criterion) {
+    use hybrid1905::balancer::{combine_streams, SplitStrategy};
+    let a: Vec<Time> = (1..5000u64).map(Time::from_micros).collect();
+    let b: Vec<Time> = (1..2000u64).map(|k| Time::from_micros(k * 3)).collect();
+    c.bench_function("balancer_combine_7000_packets", |bch| {
+        bch.iter(|| {
+            combine_streams(
+                &a,
+                &b,
+                SplitStrategy::Weighted { p_first: 0.7 },
+                6500,
+                7,
+            )
+        })
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let env = PaperEnv::new(PAPER_SEED);
+    let s0 = env.testbed.station(9).outlet;
+    let s1 = env.testbed.station(5).outlet;
+    c.bench_function("grid_shortest_path", |b| {
+        b.iter(|| env.testbed.grid.shortest_path(s0, s1))
+    });
+    let mut group = c.benchmark_group("testbed");
+    group.sample_size(20);
+    group.bench_function("paper_floor_build", |b| {
+        b.iter(|| electrifi_testbed::Testbed::paper_floor(7))
+    });
+    group.finish();
+    let _ = Duration::from_secs(1);
+}
+
+criterion_group!(
+    benches,
+    bench_channel_spectrum,
+    bench_estimator,
+    bench_mac_sim,
+    bench_balancer,
+    bench_grid
+);
+criterion_main!(benches);

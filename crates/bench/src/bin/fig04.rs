@@ -1,0 +1,36 @@
+//! Reproduce Fig. 4: concurrent temporal variation of WiFi and PLC
+//! capacity for a good and an average link over hours.
+
+use electrifi::experiments::{temporal, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = temporal::fig4(&env, scale_from_env());
+    for (name, link) in [("good", &r.good), ("average", &r.average)] {
+        let p = link.plc.stats();
+        let w = link.wifi.stats();
+        println!(
+            "Fig. 4 [{name} link {}-{}]: PLC capacity mean={} std={} cv={} | WiFi mean={} std={} cv={}",
+            link.a, link.b,
+            fmt(p.mean(), 1), fmt(p.std(), 1), fmt(p.cv(), 3),
+            fmt(w.mean(), 1), fmt(w.std(), 1), fmt(w.cv(), 3),
+        );
+        // Print a decimated trace for plotting.
+        let n = link.plc.len();
+        let step = (n / 24).max(1);
+        for (i, ((tp, vp), (_, vw))) in link
+            .plc
+            .points()
+            .iter()
+            .zip(link.wifi.points())
+            .enumerate()
+        {
+            if i % step == 0 {
+                println!("  t={:>8.0}s  PLC={:>6.1}  WiFi={:>6.1}", tp.as_secs_f64(), vp, vw);
+            }
+        }
+    }
+    println!("(paper: good link varies much more on WiFi; both vary on the average link)");
+}

@@ -1,0 +1,40 @@
+//! Reproduce Fig. 7: throughput vs cable distance (AV and AV500) and
+//! PBerr vs throughput.
+
+use electrifi::experiments::{spatial, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = spatial::fig7(&env, scale_from_env());
+    for (name, rows) in [("HomePlug AV", &r.av), ("HomePlug AV500", &r.av500)] {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|d| {
+                vec![
+                    format!("{}-{}", d.a, d.b),
+                    fmt(d.cable_m, 1),
+                    fmt(d.throughput, 1),
+                    fmt(d.pberr, 3),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("Fig. 7 — {name}: throughput vs cable distance"),
+                &["link", "cable m", "T Mb/s", "PBerr"],
+                &table,
+            )
+        );
+        let pts: Vec<(f64, f64)> = rows.iter().map(|d| (d.cable_m, d.throughput)).collect();
+        if let Some(rho) = simnet::stats::spearman(&pts) {
+            println!("distance-throughput Spearman rho = {rho:.2} (paper: clear degradation with spread)\n");
+        }
+    }
+    let pts: Vec<(f64, f64)> = r.av.iter().map(|d| (d.throughput, d.pberr)).collect();
+    if let Some(rho) = simnet::stats::spearman(&pts) {
+        println!("AV PBerr-vs-throughput Spearman rho = {rho:.2} (paper: PBerr decreases as throughput grows)");
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduce Fig. 10: cycle-scale BLE traces for links of various
+//! qualities, including the HPAV500 vendor-quirk panel.
+
+use electrifi::experiments::{temporal, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = temporal::fig10(&env, scale_from_env());
+    println!("Fig. 10 — cycle-scale BLE variation (night, fixed electrical structure)\n");
+    for t in &r.traces {
+        let s = t.ble.stats();
+        println!(
+            "link {:>2}-{:<2} [{:?}]: mean BLE {} Mb/s, std {}, updates alpha {} ms over {} samples",
+            t.a,
+            t.b,
+            t.technology,
+            fmt(s.mean(), 1),
+            fmt(s.std(), 2),
+            fmt(t.mean_alpha_ms(), 0),
+            t.ble.len(),
+        );
+    }
+    println!("\n(paper: bad links update tone maps often with high std; good links hold maps for seconds)");
+}

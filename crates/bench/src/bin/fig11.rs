@@ -1,0 +1,34 @@
+//! Reproduce Fig. 11: tone-map update inter-arrival (alpha) and BLE std
+//! vs link quality across the testbed.
+
+use electrifi::experiments::{temporal, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = temporal::fig11(&env, scale_from_env());
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|x| {
+            vec![
+                format!("{}-{}", x.a, x.b),
+                fmt(x.avg_ble, 1),
+                fmt(x.alpha_ms, 0),
+                fmt(x.ble_std, 2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 11 — links sorted by increasing average BLE",
+            &["link", "BLE Mb/s", "alpha ms", "std BLE"],
+            &rows,
+        )
+    );
+    println!();
+    println!("Spearman rho(BLE, alpha) = {:?} (paper: positive — good links update less often)", r.rho_ble_alpha.map(|v| (v * 100.0).round() / 100.0));
+    println!("Spearman rho(BLE, std)   = {:?} (paper: negative — good links vary less)", r.rho_ble_std.map(|v| (v * 100.0).round() / 100.0));
+}

@@ -1,0 +1,33 @@
+//! Reproduce Fig. 13: two weeks of hourly BLE for a good link, weekday
+//! vs weekend profiles with error bars.
+
+use electrifi::experiments::{temporal, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = temporal::weekly(&env, 1, 8, scale_from_env());
+    let table = |rows: &[(u32, f64, f64)]| -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|(h, m, s)| vec![format!("{h:02}:00"), fmt(*m, 1), fmt(*s, 2)])
+            .collect()
+    };
+    print!(
+        "{}",
+        render_table(
+            "Fig. 13 — good link 1-8, weekday hours (BLE mean / std)",
+            &["hour", "BLE", "std"],
+            &table(&r.weekday_by_hour),
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "Fig. 13 — good link 1-8, weekend hours",
+            &["hour", "BLE", "std"],
+            &table(&r.weekend_by_hour),
+        )
+    );
+    println!("(paper: good link swings only a few Mb/s with the working day; weekends flat)");
+}

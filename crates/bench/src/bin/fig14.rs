@@ -1,0 +1,33 @@
+//! Reproduce Fig. 14: two weeks of BLE and throughput for a bad link —
+//! larger, activity-driven swings than the good link of Fig. 13.
+
+use electrifi::experiments::{temporal, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = temporal::weekly(&env, 2, 11, scale_from_env());
+    let rows: Vec<Vec<String>> = r
+        .weekday_by_hour
+        .iter()
+        .map(|(h, m, s)| vec![format!("{h:02}:00"), fmt(*m, 1), fmt(*s, 2)])
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 14 — bad link 2-11, weekday hours (BLE mean / std)",
+            &["hour", "BLE", "std"],
+            &rows,
+        )
+    );
+    let day_swing = {
+        let means: Vec<f64> = r.weekday_by_hour.iter().map(|x| x.1).collect();
+        let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    };
+    println!("\nweekday diurnal swing: {} Mb/s (paper: bad links swing far more than good ones)", fmt(day_swing, 1));
+    let thr = r.trace.throughput.stats();
+    println!("throughput over the fortnight: mean {} Mb/s, std {}", fmt(thr.mean(), 1), fmt(thr.std(), 2));
+}

@@ -1,0 +1,43 @@
+//! Reproduce Fig. 15: BLE is a linear predictor of UDP throughput
+//! (paper fit: BLE = 1.7 T - 0.65, normal residuals).
+
+use electrifi::experiments::{capacity, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = capacity::fig15(&env, scale_from_env());
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|x| {
+            vec![
+                format!("{}-{}", x.a, x.b),
+                fmt(x.throughput, 1),
+                fmt(x.ble, 1),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table("Fig. 15 — per-link (T, BLE)", &["link", "T Mb/s", "BLE Mb/s"], &rows)
+    );
+    match r.fit {
+        Some(fit) => {
+            println!(
+                "\nfit: BLE = {:.2} T + {:.2}  (paper: BLE = 1.70 T - 0.65), R^2 = {:.3}, n = {}",
+                fit.slope, fit.intercept, fit.r2, fit.n
+            );
+            if let Some(norm) = r.residual_normality {
+                println!(
+                    "residuals: skew {:.2}, excess kurtosis {:.2}, looks_normal = {} (paper: residuals normal)",
+                    norm.skewness,
+                    norm.excess_kurtosis,
+                    norm.looks_normal()
+                );
+            }
+        }
+        None => println!("not enough points for a fit"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduce Fig. 17: pausing the probing does not lose the estimate —
+//! devices keep channel-estimation statistics.
+
+use electrifi::experiments::{capacity, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::scale_from_env;
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = capacity::fig17(&env, scale_from_env());
+    println!(
+        "Fig. 17 — probing 20 pkt/s, paused at {:.0}s, resumed at {:.0}s\n",
+        r.pause_at.as_secs_f64(),
+        r.resume_at.as_secs_f64()
+    );
+    for ((a, b), series) in &r.links {
+        let before = series
+            .points()
+            .iter().rfind(|(t, _)| *t < r.pause_at)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        let after = series
+            .points()
+            .iter()
+            .find(|(t, _)| *t >= r.resume_at)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        println!(
+            "link {a}-{b}: estimate before pause {before:>6.1} Mb/s, first estimate after resume {after:>6.1} Mb/s"
+        );
+    }
+    println!("\n(paper: the estimation resumes from its pre-pause value)");
+}

@@ -1,0 +1,21 @@
+//! Reproduce Fig. 18: probing with packets not larger than one PB caps
+//! the estimated capacity at R1sym ~ 89.4 Mb/s.
+
+use electrifi::experiments::{capacity, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::scale_from_env;
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = capacity::fig18(&env, scale_from_env());
+    println!("Fig. 18 — 1 probe/s of various sizes on a good link; R1sym = {:.1} Mb/s\n", r.r1sym);
+    for (bytes, series) in &r.sizes {
+        let last = series.points().last().map(|p| p.1).unwrap_or(0.0);
+        let capped = last <= r.r1sym * 1.02;
+        println!(
+            "  {bytes:>5} B probes -> final estimate {last:>6.1} Mb/s {}",
+            if capped { "(capped at R1sym)" } else { "(above R1sym)" }
+        );
+    }
+    println!("\n(paper: 200 B and 520 B converge to ~89 Mb/s and stay; 521 B and 1300 B go higher)");
+}

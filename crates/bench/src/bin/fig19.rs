@@ -1,0 +1,34 @@
+//! Reproduce Fig. 19: CDF of capacity-estimation error for the adaptive
+//! probing method vs fixed 5 s / 80 s probing, plus the overhead
+//! reduction.
+
+use electrifi::experiments::{capacity, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::scale_from_env;
+use simnet::stats::Ecdf;
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = capacity::fig19(&env, scale_from_env());
+    println!("Fig. 19 — estimation-error CDFs\n");
+    println!("{:>12} {:>10} {:>10} {:>10} {:>8}", "method", "median", "p90", "p99", "probes");
+    for (name, eval) in [
+        ("our method", &r.adaptive),
+        ("every 5 s", &r.every_5s),
+        ("every 80 s", &r.every_80s),
+    ] {
+        let e = Ecdf::new(eval.errors_mbps.clone());
+        println!(
+            "{:>12} {:>10.2} {:>10.2} {:>10.2} {:>8}",
+            name,
+            e.median(),
+            e.quantile(0.9),
+            e.quantile(0.99),
+            eval.probes
+        );
+    }
+    println!(
+        "\noverhead reduction vs 5 s probing: {:.0}% (paper: 32%)",
+        100.0 * r.overhead_reduction
+    );
+}

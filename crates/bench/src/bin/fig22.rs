@@ -1,0 +1,35 @@
+//! Reproduce Fig. 22: unicast ETX (U-ETX) vs BLE and vs PBerr.
+
+use electrifi::experiments::{retrans, PAPER_SEED};
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let r = retrans::fig22(&env, scale_from_env());
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|x| {
+            vec![
+                format!("{}-{}", x.a, x.b),
+                fmt(x.ble, 1),
+                fmt(x.pberr, 4),
+                fmt(x.uetx.mean, 3),
+                fmt(x.uetx.std, 3),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 22 — U-ETX per link (sorted by BLE)",
+            &["link", "BLE", "PBerr", "U-ETX", "std"],
+            &rows,
+        )
+    );
+    println!(
+        "\nPearson rho(PBerr, U-ETX) = {:?} (paper: almost linear relationship)",
+        r.rho_pberr_uetx.map(|v| (v * 100.0).round() / 100.0)
+    );
+}

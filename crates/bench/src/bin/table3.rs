@@ -1,0 +1,23 @@
+//! Print Table 3 (the link-metric estimation guidelines) from the typed
+//! policy data, with a derived probe plan per link class.
+
+use electrifi::guidelines::{table3, ProbePlan};
+
+fn main() {
+    println!("Table 3 — guidelines for PLC link-metric estimation\n");
+    for g in table3() {
+        println!("[{}]\n  {}\n  (sections {})\n", g.policy, g.guideline, g.sections);
+    }
+    println!("Derived probe plans:");
+    for (label, ble) in [("bad (BLE 40)", 40.0), ("average (BLE 80)", 80.0), ("good (BLE 120)", 120.0)] {
+        let p = ProbePlan::recommended(ble, false);
+        let pc = ProbePlan::recommended(ble, true);
+        println!(
+            "  {label:<18}: every {:>3.0} s, {} B probes, bursts x{} (x{} when contended)",
+            p.interval.as_secs_f64(),
+            p.probe_bytes,
+            p.burst_len,
+            pc.burst_len
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Vendor comparison: the paper's §6.2 future work — "future work should
+//! focus on comparing link-metric estimations for different vendors and
+//! technologies". Run the same cycle-scale experiment with three
+//! estimator personalities on the same physical channels.
+
+use electrifi::experiments::temporal::cycle_trace;
+use electrifi::experiments::PAPER_SEED;
+use electrifi::PaperEnv;
+use electrifi_bench::{fmt, render_table, scale_from_env};
+use plc_phy::estimation::EstimatorConfig;
+use plc_phy::PlcTechnology;
+use simnet::time::Duration;
+
+fn main() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let duration = match electrifi_bench::scale_from_env() {
+        electrifi::experiments::Scale::Paper => Duration::from_secs(240),
+        electrifi::experiments::Scale::Quick => Duration::from_secs(12),
+    };
+    let _ = scale_from_env();
+    let vendors: [(&str, EstimatorConfig); 3] = [
+        ("intellon", EstimatorConfig::vendor_intellon()),
+        ("qca-av500", EstimatorConfig::vendor_qca()),
+        ("conservative", EstimatorConfig::vendor_conservative()),
+    ];
+    let links: [(u16, u16); 4] = [(2, 6), (1, 2), (2, 11), (10, 11)];
+    let mut rows = Vec::new();
+    for (a, b) in links {
+        for (name, cfg) in &vendors {
+            let tech = if *name == "qca-av500" {
+                PlcTechnology::HpAv500
+            } else {
+                PlcTechnology::HpAv
+            };
+            let t = cycle_trace(&env, a, b, tech, *cfg, duration);
+            let s = t.ble.stats();
+            rows.push(vec![
+                format!("{a}-{b}"),
+                name.to_string(),
+                fmt(s.mean(), 1),
+                fmt(s.std(), 2),
+                fmt(t.mean_alpha_ms(), 0),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Vendor comparison — cycle-scale BLE statistics per estimator personality",
+            &["link", "vendor", "BLE", "std", "alpha ms"],
+            &rows,
+        )
+    );
+    println!("\n(expected: aggressive vendors advertise more BLE with more churn; the QCA quirk adds deep dips on error bursts)");
+}

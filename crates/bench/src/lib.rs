@@ -1,0 +1,89 @@
+//! # electrifi-bench — reproduction and benchmark harness
+//!
+//! One binary per paper figure/table (`src/bin/fig03.rs` …) plus Criterion
+//! micro-benchmarks (`benches/`). This library holds the shared output
+//! helpers: plain-text tables and series dumps that print the same rows
+//! the paper reports.
+
+#![warn(missing_docs)]
+
+use electrifi::experiments::Scale;
+
+/// Scale selection for the reproduction binaries: `Paper` by default,
+/// `Quick` when `ELECTRIFI_SCALE=quick` is set (smoke runs / CI).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("ELECTRIFI_SCALE").as_deref() {
+        Ok("quick") | Ok("Quick") | Ok("QUICK") => Scale::Quick,
+        _ => Scale::Paper,
+    }
+}
+
+/// Render a plain-text table: a header row and aligned columns.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let head: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    out.push_str(&head.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(head.join("  ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with a fixed number of decimals, rendering NaN as "-".
+pub fn fmt(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            "demo",
+            &["link", "T (Mbps)"],
+            &[
+                vec!["0-1".into(), "42.0".into()],
+                vec!["10-2".into(), "7.5".into()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("link"));
+        let lines: Vec<&str> = t.lines().collect();
+        // All data lines have equal length (alignment).
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn fmt_handles_nan() {
+        assert_eq!(fmt(f64::NAN, 2), "-");
+        assert_eq!(fmt(1.234, 2), "1.23");
+    }
+}

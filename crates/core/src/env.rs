@@ -1,0 +1,98 @@
+//! The experiment environment: testbed plus calibrated model parameters.
+
+use electrifi_testbed::{PlcNetwork, StationId, Testbed};
+use plc_phy::channel::{LinkDir, PlcChannel, PlcChannelParams};
+use plc_phy::estimation::EstimatorConfig;
+use plc_phy::PlcTechnology;
+use wifi80211::channel::WifiChannelParams;
+use wifi80211::WifiChannel;
+
+/// Everything an experiment needs: the reconstructed floor and the
+/// calibrated model constants used throughout the reproduction.
+#[derive(Debug, Clone)]
+pub struct PaperEnv {
+    /// The 19-station floor.
+    pub testbed: Testbed,
+    /// PLC channel constants.
+    pub plc_params: PlcChannelParams,
+    /// WiFi channel constants.
+    pub wifi_params: WifiChannelParams,
+    /// Channel-estimator configuration (HPAV-flavoured).
+    pub estimator: EstimatorConfig,
+}
+
+impl PaperEnv {
+    /// Build the standard environment from a master seed.
+    pub fn new(seed: u64) -> Self {
+        PaperEnv {
+            testbed: Testbed::paper_floor(seed),
+            plc_params: PlcChannelParams::default(),
+            wifi_params: WifiChannelParams::default(),
+            estimator: EstimatorConfig::default(),
+        }
+    }
+
+    /// The PLC channel of a station pair (same-network pairs are the
+    /// meaningful ones). Panics if the pair is not wired at all.
+    pub fn plc_channel(&self, a: StationId, b: StationId) -> PlcChannel {
+        self.plc_channel_tech(a, b, PlcTechnology::HpAv)
+    }
+
+    /// The PLC channel with an explicit technology (HPAV vs HPAV500 for
+    /// the Fig. 7 comparison).
+    pub fn plc_channel_tech(
+        &self,
+        a: StationId,
+        b: StationId,
+        tech: PlcTechnology,
+    ) -> PlcChannel {
+        self.testbed
+            .plc_channel(a, b, tech, self.plc_params)
+            .unwrap_or_else(|| panic!("stations {a} and {b} share no wiring"))
+    }
+
+    /// Direction selector for channels built by [`PaperEnv::plc_channel`].
+    pub fn dir(a: StationId, b: StationId) -> LinkDir {
+        Testbed::link_dir(a, b)
+    }
+
+    /// The WiFi channel of a station pair.
+    pub fn wifi_channel(&self, a: StationId, b: StationId) -> WifiChannel {
+        self.testbed.wifi_channel(a, b, self.wifi_params)
+    }
+
+    /// Directed same-network PLC pairs (the paper's link population).
+    pub fn plc_pairs(&self) -> Vec<(StationId, StationId)> {
+        self.testbed.plc_pairs()
+    }
+
+    /// Members of one PLC logical network.
+    pub fn network_members(&self, net: PlcNetwork) -> Vec<StationId> {
+        self.testbed.network_members(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::Time;
+
+    #[test]
+    fn env_builds_channels_both_ways() {
+        let env = PaperEnv::new(2015);
+        let ch = env.plc_channel(1, 6);
+        let t = Time::from_hours(10);
+        let fwd = ch.spectrum(PaperEnv::dir(1, 6), t).mean_db();
+        let rev = ch.spectrum(PaperEnv::dir(6, 1), t).mean_db();
+        assert!(fwd.is_finite() && rev.is_finite());
+        let w = env.wifi_channel(1, 6);
+        assert!(w.snr_db(t).is_finite());
+    }
+
+    #[test]
+    fn pair_population_matches_testbed() {
+        let env = PaperEnv::new(1);
+        assert_eq!(env.plc_pairs().len(), 174);
+        assert_eq!(env.network_members(PlcNetwork::A).len(), 12);
+    }
+}

@@ -1,0 +1,318 @@
+//! Channel-in-the-loop link measurement without a full MAC.
+//!
+//! Most of the paper's experiments measure *one link at a time*: send
+//! traffic (saturated or probes), read BLE from management messages or
+//! frame headers, read PBerr from `ampstat`. The MAC contention machinery
+//! is irrelevant when a single flow owns the medium, so this driver runs
+//! just the measurement loop — channel → frames → estimator → tone maps —
+//! at any cadence, over horizons from milliseconds (Fig. 9) to weeks
+//! (Figs. 13-14).
+
+use plc_phy::carrier::SYMBOL_US;
+use plc_phy::channel::{LinkDir, PlcChannel};
+use plc_phy::error::pb_error_prob;
+use plc_phy::estimation::{ChannelEstimator, EstimatorConfig, PB_BITS};
+use plc_phy::tonemap::{ToneMap, TONEMAP_SLOTS};
+use rand::rngs::StdRng;
+use plc_phy::SnrSpectrum;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use simnet::rng::Distributions;
+use simnet::time::{Duration, Time};
+
+/// Outcome of pushing one frame through the link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameOutcome {
+    /// Tone-map slot the frame flew in.
+    pub slot: usize,
+    /// BLE of the tone map used (what the SoF would carry), Mb/s.
+    pub ble_mbps: f64,
+    /// PB error probability the frame experienced.
+    pub pberr: f64,
+    /// PBs carried.
+    pub pbs: u32,
+    /// PBs received in error (drawn).
+    pub pb_errors: u32,
+    /// Frame length in OFDM symbols.
+    pub n_symbols: u64,
+    /// Whether the receiver regenerated the tone maps after this frame.
+    pub regenerated: bool,
+}
+
+/// One directed link under measurement: channel, estimator, error
+/// window.
+pub struct LinkProbeSim {
+    channel: PlcChannel,
+    dir: LinkDir,
+    est: ChannelEstimator,
+    rng: StdRng,
+    /// PBs (total, errored) since the last tone-map regeneration.
+    window: (u64, u64),
+    /// Cumulative PB counters.
+    cumulative: (u64, u64),
+    /// Per-slot spectrum cache (refreshed every `SPECTRUM_TTL`): frame
+    /// rates of hundreds per second re-evaluate a channel that only
+    /// moves on the cycle scale (~1 s), so caching is lossless in
+    /// practice and makes week-long traces affordable.
+    spec_cache: Vec<Option<(Time, SnrSpectrum)>>,
+}
+
+/// Spectrum cache lifetime.
+const SPECTRUM_TTL: Duration = Duration::from_millis(100);
+
+impl LinkProbeSim {
+    /// Attach a measurement loop to one direction of a channel.
+    pub fn new(channel: PlcChannel, dir: LinkDir, cfg: EstimatorConfig, seed: u64) -> Self {
+        let n = channel.plan().len();
+        LinkProbeSim {
+            channel,
+            dir,
+            est: ChannelEstimator::new(cfg, n),
+            rng: StdRng::seed_from_u64(seed),
+            window: (0, 0),
+            cumulative: (0, 0),
+            spec_cache: vec![None; TONEMAP_SLOTS],
+        }
+    }
+
+    /// Per-slot cached spectrum at time `t`.
+    fn spectrum_cached(&mut self, slot: usize, t: Time) -> &SnrSpectrum {
+        let stale = match &self.spec_cache[slot] {
+            Some((at, _)) => t.saturating_since(*at) >= SPECTRUM_TTL,
+            None => true,
+        };
+        if stale {
+            let phase = (slot as f64 + 0.5) / TONEMAP_SLOTS as f64;
+            let spec = self.channel.spectrum_at_phase(self.dir, t, phase);
+            self.spec_cache[slot] = Some((t, spec));
+        }
+        &self.spec_cache[slot].as_ref().expect("just filled").1
+    }
+
+    /// The underlying channel.
+    pub fn channel(&self) -> &PlcChannel {
+        &self.channel
+    }
+
+    /// The estimator state (receiver side).
+    pub fn estimator(&self) -> &ChannelEstimator {
+        &self.est
+    }
+
+    /// Factory-reset the devices on this link (paper §7.1 resets before
+    /// convergence runs).
+    pub fn reset(&mut self) {
+        self.est.reset();
+        self.window = (0, 0);
+        self.spec_cache = vec![None; TONEMAP_SLOTS];
+    }
+
+    /// Average BLE over the six slots — the `int6krate` reading.
+    pub fn ble_avg(&self) -> f64 {
+        self.est.ble_avg()
+    }
+
+    /// Per-slot BLE — the `BLEs` in a SoF delimiter.
+    pub fn ble_slot(&self, slot: usize) -> f64 {
+        self.est.ble_slot(slot)
+    }
+
+    /// Cumulative PBerr — the `ampstat` reading (None before any PBs).
+    pub fn pberr_cumulative(&self) -> Option<f64> {
+        if self.cumulative.0 == 0 {
+            None
+        } else {
+            Some(self.cumulative.1 as f64 / self.cumulative.0 as f64)
+        }
+    }
+
+    /// The tone map the *sender* would use right now for a frame in
+    /// `slot` (ROBO until the first tone maps exist).
+    fn sender_map(&self, slot: usize) -> ToneMap {
+        if self.est.last_regen().is_some() {
+            self.est.tonemaps().slots[slot % TONEMAP_SLOTS].clone()
+        } else {
+            ToneMap::robo(self.channel.plan().len())
+        }
+    }
+
+    /// Push one data/probe frame of `payload_bytes` through the link at
+    /// time `t`. Frames always carry at least one PB; the frame length in
+    /// symbols follows the tone map in use (padding to one symbol
+    /// minimum) — which is exactly what makes sub-PB probes pathological
+    /// (§7.2).
+    pub fn frame(&mut self, t: Time, payload_bytes: u32) -> FrameOutcome {
+        let slot = t.tonemap_slot(TONEMAP_SLOTS);
+        let map = self.sender_map(slot);
+        let pbs = plc_mac::pb::pbs_for_packet(payload_bytes);
+        let bits = pbs as u64 * PB_BITS;
+        let n_symbols = map.symbols_for_bits(bits).clamp(1, 1_000);
+        let spec = self.spectrum_cached(slot, t).clone();
+        let pberr = pb_error_prob(&map, &spec);
+        let mut pb_errors = 0u32;
+        for _ in 0..pbs {
+            if Distributions::bernoulli(&mut self.rng, pberr) {
+                pb_errors += 1;
+            }
+        }
+        self.window.0 += pbs as u64;
+        self.window.1 += pb_errors as u64;
+        self.cumulative.0 += pbs as u64;
+        self.cumulative.1 += pb_errors as u64;
+        self.est.observe(&mut self.rng, slot, &spec, n_symbols, pbs);
+        let recent = if self.window.0 >= 20 {
+            self.window.1 as f64 / self.window.0 as f64
+        } else {
+            0.0
+        };
+        let regenerated = self.est.maybe_regenerate(t, recent);
+        if regenerated {
+            self.window = (0, 0);
+        }
+        FrameOutcome {
+            slot,
+            ble_mbps: map.ble(),
+            pberr,
+            pbs,
+            pb_errors,
+            n_symbols,
+            regenerated,
+        }
+    }
+
+    /// Bring a link to steady state the way a freshly associated device
+    /// pair does: saturate for `secs` seconds so the rapid initial
+    /// tone-map refinements run their course. Returns the time at which
+    /// steady-state measurement can start.
+    pub fn warmup(&mut self, start: Time, secs: u64) -> Time {
+        let end = start + Duration::from_secs(secs);
+        self.saturate_interval(start, end, Duration::from_millis(20));
+        end
+    }
+
+    /// Push a saturated-traffic burst covering the interval `[t, t+dt)` at
+    /// full-length frames (max aggregation), approximated as one
+    /// max-length frame per `frame_interval`. Returns the last outcome.
+    pub fn saturate_interval(
+        &mut self,
+        start: Time,
+        end: Time,
+        frame_interval: Duration,
+    ) -> Option<FrameOutcome> {
+        let mut t = start;
+        let mut last = None;
+        // A max-duration frame carries ~53 symbols worth of PBs; payload
+        // size is irrelevant beyond "many PBs", use 24 kB.
+        while t < end {
+            last = Some(self.frame(t, 24_000));
+            t += frame_interval;
+        }
+        last
+    }
+
+    /// Instantaneous expected UDP saturation throughput from the current
+    /// estimator state (analytic MAC model, single flow).
+    pub fn throughput_now(&mut self, t: Time) -> f64 {
+        let slot = t.tonemap_slot(TONEMAP_SLOTS);
+        let map = self.sender_map(slot);
+        let spec = self.spectrum_cached(slot, t).clone();
+        let pberr = pb_error_prob(&map, &spec);
+        plc_mac::saturation_throughput_mbps(self.est.ble_avg(), pberr, 1)
+    }
+
+    /// Expected throughput and PBerr sampled for long-horizon traces:
+    /// drives a short saturated burst (to keep the estimator live, as the
+    /// paper's long experiments do) and returns `(ble_avg, pberr_window,
+    /// throughput)`.
+    pub fn sample_saturated(&mut self, t: Time) -> (f64, f64, f64) {
+        // A handful of frames keeps tone maps fresh at this instant.
+        let mut errs = 0u64;
+        let mut tot = 0u64;
+        for k in 0..6 {
+            let o = self.frame(t + Duration::from_micros(k * 3_000), 24_000);
+            errs += o.pb_errors as u64;
+            tot += o.pbs as u64;
+        }
+        let pberr = errs as f64 / tot.max(1) as f64;
+        let ble = self.est.ble_avg();
+        (
+            ble,
+            pberr,
+            plc_mac::saturation_throughput_mbps(ble, pberr, 1),
+        )
+    }
+
+    /// Frame length (symbols) a payload would need under the current maps
+    /// (diagnostic for probe-size studies).
+    pub fn symbols_for_payload(&self, t: Time, payload_bytes: u32) -> u64 {
+        let slot = t.tonemap_slot(TONEMAP_SLOTS);
+        let map = self.sender_map(slot);
+        map.symbols_for_bits(plc_mac::pb::pbs_for_packet(payload_bytes) as u64 * PB_BITS)
+    }
+
+    /// The ceiling rate of one PB per symbol, `R1sym ≈ 89.4` Mb/s (§7.2).
+    pub fn r1sym_mbps() -> f64 {
+        PB_BITS as f64 / SYMBOL_US
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::PaperEnv;
+
+    fn link(a: u16, b: u16) -> LinkProbeSim {
+        let env = PaperEnv::new(2015);
+        LinkProbeSim::new(
+            env.plc_channel(a, b),
+            PaperEnv::dir(a, b),
+            env.estimator,
+            42,
+        )
+    }
+
+    #[test]
+    fn saturation_converges_to_a_live_tone_map() {
+        let mut l = link(5, 8); // short, clean link
+        let start = Time::from_hours(2);
+        l.warmup(start, 8);
+        assert!(l.ble_avg() > 30.0, "ble={}", l.ble_avg());
+        assert!(l.pberr_cumulative().is_some());
+    }
+
+    #[test]
+    fn frames_report_slots_and_symbols() {
+        let mut l = link(1, 2);
+        let o = l.frame(Time::from_millis(3), 1500);
+        assert!(o.slot < TONEMAP_SLOTS);
+        assert_eq!(o.pbs, 3);
+        assert!(o.n_symbols >= 1);
+        assert!(o.ble_mbps > 0.0);
+    }
+
+    #[test]
+    fn reset_restores_robo() {
+        let mut l = link(5, 8);
+        let start = Time::from_hours(2);
+        l.warmup(start, 8);
+        let live = l.ble_avg();
+        l.reset();
+        assert!(l.ble_avg() < live / 2.0);
+    }
+
+    #[test]
+    fn r1sym_matches_the_paper() {
+        assert!((LinkProbeSim::r1sym_mbps() - 89.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn throughput_now_is_consistent_with_fig15_scale() {
+        let mut l = link(5, 8);
+        let start = Time::from_hours(2);
+        let steady = l.warmup(start, 8);
+        let t = l.throughput_now(steady);
+        let ble = l.ble_avg();
+        let slope = ble / t;
+        assert!((1.4..2.1).contains(&slope), "ble={ble} T={t} slope={slope}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Central-coordinator (CCo) management and logical networks.
+//!
+//! Every HomePlug AV station must join a logical network managed by a
+//! **central coordinator** (paper §3.1): "Usually, the CCo is the first
+//! station plugged and it can change dynamically if another station has
+//! better channel capabilities". Logical networks are separated by MAC
+//! encryption keys — only members of the same network can exchange data,
+//! which is why the paper's two-board floor forms two networks.
+//!
+//! The paper pins CCos statically (with the Open Powerline Toolkit) to
+//! keep the topology stable; both policies are implemented here.
+
+use crate::sim::StationId;
+use serde::{Deserialize, Serialize};
+
+/// How the network selects its coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcoPolicy {
+    /// Pinned by the operator (the paper's testbed configuration).
+    Static(StationId),
+    /// HomePlug-style dynamic selection: the station with the best
+    /// network-wide channel capability coordinates; re-elected as
+    /// membership or capabilities change.
+    Dynamic,
+}
+
+/// Per-station capability summary used for dynamic election: how many
+/// peers the station can hear and how well.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CcoCandidate {
+    /// The station.
+    pub station: StationId,
+    /// Number of network members it has a usable channel to.
+    pub reachable_peers: usize,
+    /// Mean SNR (dB) over those channels.
+    pub mean_snr_db: f64,
+}
+
+/// Pick the coordinator among candidates: maximum reachable peers, ties
+/// broken by mean SNR, then by lowest id (deterministic).
+pub fn elect_cco(candidates: &[CcoCandidate]) -> Option<StationId> {
+    candidates
+        .iter()
+        .max_by(|a, b| {
+            a.reachable_peers
+                .cmp(&b.reachable_peers)
+                .then_with(|| {
+                    a.mean_snr_db
+                        .partial_cmp(&b.mean_snr_db)
+                        .expect("finite SNRs")
+                })
+                .then_with(|| b.station.cmp(&a.station))
+        })
+        .map(|c| c.station)
+}
+
+/// A logical AVLN (AV logical network): encryption domain + CCo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalNetwork {
+    /// Network identifier (derived from the network membership key).
+    pub nid: u64,
+    /// Member stations, sorted.
+    pub members: Vec<StationId>,
+    /// Coordinator policy.
+    pub policy: CcoPolicy,
+    /// Current coordinator.
+    pub cco: StationId,
+}
+
+impl LogicalNetwork {
+    /// Form a network from its first station ("the CCo is the first
+    /// station plugged").
+    pub fn form(nid: u64, first: StationId, policy: CcoPolicy) -> Self {
+        let cco = match policy {
+            CcoPolicy::Static(id) => id,
+            CcoPolicy::Dynamic => first,
+        };
+        LogicalNetwork {
+            nid,
+            members: vec![first],
+            policy,
+            cco,
+        }
+    }
+
+    /// Is a station a member (shares the encryption key)?
+    pub fn is_member(&self, id: StationId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// A station joins; with a dynamic policy, provide the updated
+    /// capability table to trigger re-election.
+    pub fn join(&mut self, id: StationId, capabilities: &[CcoCandidate]) {
+        if let Err(pos) = self.members.binary_search(&id) {
+            self.members.insert(pos, id);
+        }
+        self.reelect(capabilities);
+    }
+
+    /// A station leaves (unplugged); the CCo hands over if it left.
+    pub fn leave(&mut self, id: StationId, capabilities: &[CcoCandidate]) {
+        if let Ok(pos) = self.members.binary_search(&id) {
+            self.members.remove(pos);
+        }
+        if self.cco == id || matches!(self.policy, CcoPolicy::Dynamic) {
+            self.reelect(capabilities);
+        }
+    }
+
+    fn reelect(&mut self, capabilities: &[CcoCandidate]) {
+        match self.policy {
+            CcoPolicy::Static(id) => {
+                if self.is_member(id) {
+                    self.cco = id;
+                } else if let Some(&first) = self.members.first() {
+                    // The pinned CCo is gone: fall back to the oldest
+                    // member until the operator re-pins.
+                    self.cco = first;
+                }
+            }
+            CcoPolicy::Dynamic => {
+                let member_caps: Vec<CcoCandidate> = capabilities
+                    .iter()
+                    .filter(|c| self.is_member(c.station))
+                    .copied()
+                    .collect();
+                if let Some(new) = elect_cco(&member_caps) {
+                    self.cco = new;
+                } else if let Some(&first) = self.members.first() {
+                    self.cco = first;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(station: StationId, peers: usize, snr: f64) -> CcoCandidate {
+        CcoCandidate {
+            station,
+            reachable_peers: peers,
+            mean_snr_db: snr,
+        }
+    }
+
+    #[test]
+    fn election_prefers_reach_then_snr_then_id() {
+        let c = vec![cand(1, 3, 20.0), cand(2, 4, 10.0), cand(3, 4, 15.0)];
+        assert_eq!(elect_cco(&c), Some(3)); // most peers, better SNR
+        let tie = vec![cand(5, 2, 20.0), cand(4, 2, 20.0)];
+        assert_eq!(elect_cco(&tie), Some(4)); // lowest id wins ties
+        assert_eq!(elect_cco(&[]), None);
+    }
+
+    #[test]
+    fn first_station_coordinates_dynamic_network() {
+        let n = LogicalNetwork::form(0xA, 7, CcoPolicy::Dynamic);
+        assert_eq!(n.cco, 7);
+        assert!(n.is_member(7));
+    }
+
+    #[test]
+    fn better_joiner_takes_over_dynamically() {
+        let mut n = LogicalNetwork::form(0xA, 7, CcoPolicy::Dynamic);
+        let caps = vec![cand(7, 1, 15.0), cand(3, 5, 30.0)];
+        n.join(3, &caps);
+        assert_eq!(n.cco, 3, "station with better capabilities coordinates");
+        assert!(n.is_member(3) && n.is_member(7));
+    }
+
+    #[test]
+    fn static_pin_survives_joins() {
+        let mut n = LogicalNetwork::form(0xB, 11, CcoPolicy::Static(11));
+        let caps = vec![cand(11, 1, 10.0), cand(4, 9, 40.0)];
+        n.join(4, &caps);
+        assert_eq!(n.cco, 11, "the paper pins CCos statically");
+    }
+
+    #[test]
+    fn cco_departure_hands_over() {
+        let mut n = LogicalNetwork::form(0xC, 1, CcoPolicy::Dynamic);
+        n.join(2, &[cand(1, 2, 20.0), cand(2, 2, 18.0)]);
+        n.join(3, &[cand(1, 2, 20.0), cand(2, 2, 18.0), cand(3, 2, 19.0)]);
+        assert_eq!(n.cco, 1);
+        n.leave(1, &[cand(2, 1, 18.0), cand(3, 1, 19.0)]);
+        assert!(!n.is_member(1));
+        assert_eq!(n.cco, 3, "best remaining candidate takes over");
+    }
+
+    #[test]
+    fn static_fallback_when_pin_leaves() {
+        let mut n = LogicalNetwork::form(0xD, 11, CcoPolicy::Static(11));
+        n.join(4, &[]);
+        n.leave(11, &[]);
+        assert_eq!(n.cco, 4, "oldest member stands in for the missing pin");
+    }
+
+    #[test]
+    fn membership_is_sorted_and_deduplicated() {
+        let mut n = LogicalNetwork::form(0xE, 5, CcoPolicy::Dynamic);
+        n.join(2, &[]);
+        n.join(9, &[]);
+        n.join(2, &[]);
+        assert_eq!(n.members, vec![2, 5, 9]);
+    }
+}

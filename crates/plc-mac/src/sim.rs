@@ -1,0 +1,1277 @@
+//! Event-driven simulation of one PLC contention domain.
+//!
+//! A [`PlcSim`] hosts a set of stations plugged into outlets of an
+//! electrical [`Grid`], the physical channels between every connected
+//! pair, traffic flows, and the full 1901 MAC: CSMA/CA with deferral
+//! counters, priority-resolution slots, frame aggregation against the
+//! current tone map, selective acknowledgments, tone-map
+//! estimation/exchange, beacons, ROBO broadcast, collisions with an
+//! optional capture effect, and a SoF sniffer.
+//!
+//! Everything the paper measures at the MAC level comes out of this
+//! simulation: per-frame SoF captures (Fig. 9), saturation throughput
+//! (Figs. 3/6/7/15), estimated-capacity convergence (Figs. 16-18), U-ETX
+//! retransmission counts (Fig. 22), broadcast loss rates (Fig. 21), and
+//! the background-traffic sensitivity of link metrics (Figs. 23-24).
+
+use crate::csma::BackoffState;
+use crate::frame::{SofDelimiter, SofRecord};
+use crate::pb::{pbs_for_packet, CompletedPacket, QueuedPb, Reassembler, PB_WIRE_BITS};
+use crate::timing;
+use plc_phy::carrier::SYMBOL_US;
+use plc_phy::channel::{LinkDir, PlcChannelParams};
+use plc_phy::error::pb_error_prob;
+use plc_phy::estimation::EstimatorConfig;
+use plc_phy::tonemap::{ToneMap, TONEMAP_SLOTS};
+use plc_phy::{ChannelEstimator, PlcChannel, PlcTechnology, SnrSpectrum};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::grid::{Grid, NodeId};
+use simnet::rng::Distributions;
+use simnet::time::{Duration, Time, BEACON_PERIOD};
+use simnet::traffic::TrafficSource;
+use std::collections::HashMap;
+
+/// Station identifier within a simulation (the paper numbers its stations
+/// 0–18).
+pub type StationId = u16;
+
+/// Destination marker for broadcast flows.
+pub const BROADCAST: StationId = StationId::MAX;
+
+/// 1901 channel-access priority classes, resolved in the PRS0/PRS1 slots
+/// that precede every contention period: when any station signals a
+/// higher class, lower-class stations sit the contention out. Best-effort
+/// data uses CA1; latency-sensitive streams CA2/CA3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Priority {
+    /// Background.
+    Ca0,
+    /// Best effort (default for data).
+    Ca1,
+    /// Video/voice.
+    Ca2,
+    /// Network-critical.
+    Ca3,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master RNG seed.
+    pub seed: u64,
+    /// PLC generation (HPAV or HPAV500).
+    pub technology: PlcTechnology,
+    /// Channel-model constants.
+    pub channel: PlcChannelParams,
+    /// Channel-estimator configuration used by every receiver.
+    pub estimator: EstimatorConfig,
+    /// Enable the collision capture effect (paper §8.2).
+    pub capture_effect: bool,
+    /// Minimum signal-to-interference ratio (dB) for a frame to be
+    /// (partially) decoded during a collision.
+    pub capture_sinr_db: f64,
+    /// The interfering frame must be at least this many times longer than
+    /// the captured frame (short probes inside long saturated frames).
+    pub capture_duration_ratio: f64,
+    /// PB error rate applied to a captured frame's blocks.
+    pub capture_pberr: f64,
+    /// How often cached per-slot SNR spectra are refreshed.
+    pub spectrum_refresh: Duration,
+    /// Minimum gap between two estimator observations on one link
+    /// direction (subsampling keeps long saturated runs cheap without
+    /// changing convergence behaviour at probe rates).
+    pub observe_min_gap: Duration,
+    /// Fraction of a frame's airtime carrying useful payload bits after
+    /// PB padding, partial last symbols and tone-map-slot truncation
+    /// (calibrated together with `exchange_extra` so saturation goodput
+    /// matches the paper's Fig. 15 fit, BLE = 1.7 T − 0.65).
+    pub frame_efficiency: f64,
+    /// Extra per-exchange dead time (management traffic, tone-map
+    /// exchange, aggregation slack).
+    pub exchange_extra: Duration,
+    /// ABLATION: disable the 1901 deferral counter, making the backoff
+    /// 802.11-style (stations escalate only on collisions, never on
+    /// sensing the medium busy). Used to demonstrate the deferral
+    /// counter's short-term unfairness/jitter effect (paper §2.2,
+    /// \[19\], \[21\]).
+    pub disable_deferral: bool,
+    /// Record SoF delimiters of all successfully transmitted frames.
+    pub sniffer: bool,
+    /// Transmit-queue capacity in PBs (device buffer; PLC queues are
+    /// non-blocking and drop on overflow, paper footnote 11).
+    pub queue_cap_pbs: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            technology: PlcTechnology::HpAv,
+            channel: PlcChannelParams::default(),
+            estimator: EstimatorConfig::default(),
+            capture_effect: true,
+            capture_sinr_db: 12.0,
+            capture_duration_ratio: 2.0,
+            capture_pberr: 0.75,
+            spectrum_refresh: Duration::from_millis(200),
+            observe_min_gap: Duration::from_millis(10),
+            frame_efficiency: 0.82,
+            exchange_extra: Duration::from_micros(150),
+            disable_deferral: false,
+            sniffer: false,
+            queue_cap_pbs: 600,
+        }
+    }
+}
+
+/// A traffic flow between two stations (or a broadcast source).
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Source station.
+    pub src: StationId,
+    /// Destination station; [`BROADCAST`] for broadcast probing.
+    pub dst: StationId,
+    /// The traffic shape.
+    pub source: TrafficSource,
+    /// Channel-access priority class.
+    pub priority: Priority,
+}
+
+impl Flow {
+    /// Unicast flow at the default CA1 (best-effort data) priority.
+    pub fn unicast(src: StationId, dst: StationId, source: TrafficSource) -> Self {
+        Flow {
+            src,
+            dst,
+            source,
+            priority: Priority::Ca1,
+        }
+    }
+
+    /// Broadcast flow (ROBO-modulated, unacknowledged — paper §8.1).
+    pub fn broadcast(src: StationId, source: TrafficSource) -> Self {
+        Flow {
+            src,
+            dst: BROADCAST,
+            source,
+            priority: Priority::Ca1,
+        }
+    }
+
+    /// Set the channel-access priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    fn is_broadcast(&self) -> bool {
+        self.dst == BROADCAST
+    }
+}
+
+/// Receiver-side state for one directed link.
+struct RxState {
+    estimator: ChannelEstimator,
+    /// PBs (total, errored) since the last tone-map regeneration — the
+    /// estimator's own error window.
+    window: (u64, u64),
+    /// PBs (total, errored) since the last `ampstat` drain — the
+    /// measurement tool's window.
+    ampstat: (u64, u64),
+    /// Cumulative PB counters (never reset).
+    cumulative: (u64, u64),
+    last_observe: Option<Time>,
+}
+
+/// Per-flow simulation state.
+struct FlowState {
+    flow: Flow,
+    queue: std::collections::VecDeque<QueuedPb>,
+    /// Frames each packet participated in (sender side, for U-ETX).
+    tx_counts: HashMap<u64, u32>,
+    /// Completed tx counts of delivered packets.
+    delivered_tx_counts: Vec<u32>,
+    reassembler: Reassembler,
+    delivered: Vec<CompletedPacket>,
+    /// Broadcast accounting per receiver: (received packets, lost packets).
+    broadcast_rx: HashMap<StationId, (u64, u64)>,
+    /// Packets dropped at the full transmit queue.
+    dropped: u64,
+}
+
+struct Station {
+    outlet: NodeId,
+    backoff: Option<BackoffState>,
+    /// Flow indices sourced at this station.
+    flows: Vec<usize>,
+    /// Round-robin pointer over `flows`.
+    rr: usize,
+}
+
+struct CachedSpectrum {
+    at: Time,
+    spec: SnrSpectrum,
+    /// PBerr memoized for (tonemap id); invalidated with the spectrum.
+    pberr_for: Option<(u32, f64)>,
+}
+
+/// One PLC contention domain.
+pub struct PlcSim {
+    cfg: SimConfig,
+    now: Time,
+    rng: StdRng,
+    ids: Vec<StationId>,
+    index: HashMap<StationId, usize>,
+    stations: Vec<Station>,
+    /// Undirected physical channels, keyed by (min idx, max idx).
+    channels: HashMap<(usize, usize), PlcChannel>,
+    /// Directed receiver state keyed by (src idx, dst idx).
+    rx: HashMap<(usize, usize), RxState>,
+    flows: Vec<FlowState>,
+    sniffer: Vec<SofRecord>,
+    spectra: HashMap<(usize, usize, u8), CachedSpectrum>,
+    n_carriers: usize,
+}
+
+impl PlcSim {
+    /// Build a simulation for stations plugged into `outlets` of `grid`.
+    /// Channels are derived for every electrically connected pair.
+    pub fn new(cfg: SimConfig, grid: &Grid, outlets: &[(StationId, NodeId)]) -> Self {
+        let ids: Vec<StationId> = outlets.iter().map(|(id, _)| *id).collect();
+        let index: HashMap<StationId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        assert_eq!(index.len(), ids.len(), "duplicate station ids");
+        let stations: Vec<Station> = outlets
+            .iter()
+            .map(|&(_, outlet)| Station {
+                outlet,
+                backoff: None,
+                flows: Vec::new(),
+                rr: 0,
+            })
+            .collect();
+        let mut channels = HashMap::new();
+        for i in 0..stations.len() {
+            for j in (i + 1)..stations.len() {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((ids[i] as u64) << 16 | ids[j] as u64);
+                if let Some(ch) = PlcChannel::from_grid(
+                    grid,
+                    stations[i].outlet,
+                    stations[j].outlet,
+                    cfg.technology,
+                    cfg.channel,
+                    seed,
+                ) {
+                    channels.insert((i, j), ch);
+                }
+            }
+        }
+        let n_carriers = cfg.technology.carrier_count();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        PlcSim {
+            cfg,
+            now: Time::ZERO,
+            rng,
+            ids,
+            index,
+            stations,
+            channels,
+            rx: HashMap::new(),
+            flows: Vec::new(),
+            sniffer: Vec::new(),
+            spectra: HashMap::new(),
+            n_carriers,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Add a traffic flow; returns its handle.
+    pub fn add_flow(&mut self, flow: Flow) -> usize {
+        let src_idx = self.idx(flow.src);
+        if !flow.is_broadcast() {
+            let dst_idx = self.idx(flow.dst);
+            let key = Self::pair(src_idx, dst_idx);
+            assert!(
+                self.channels.contains_key(&key),
+                "no electrical path between stations {} and {}",
+                flow.src,
+                flow.dst
+            );
+        }
+        let id = self.flows.len();
+        self.flows.push(FlowState {
+            flow,
+            queue: Default::default(),
+            tx_counts: HashMap::new(),
+            delivered_tx_counts: Vec::new(),
+            reassembler: Reassembler::new(),
+            delivered: Vec::new(),
+            broadcast_rx: HashMap::new(),
+            dropped: 0,
+        });
+        self.stations[src_idx].flows.push(id);
+        id
+    }
+
+    fn idx(&self, id: StationId) -> usize {
+        *self
+            .index
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown station id {id}"))
+    }
+
+    fn pair(a: usize, b: usize) -> (usize, usize) {
+        (a.min(b), a.max(b))
+    }
+
+    fn dir(a: usize, b: usize) -> LinkDir {
+        if a < b {
+            LinkDir::AtoB
+        } else {
+            LinkDir::BtoA
+        }
+    }
+
+    /// Does a physical channel exist between two stations?
+    pub fn connected(&self, a: StationId, b: StationId) -> bool {
+        self.channels.contains_key(&Self::pair(self.idx(a), self.idx(b)))
+    }
+
+    /// Cable distance between two stations, metres.
+    pub fn cable_distance_m(&self, a: StationId, b: StationId) -> Option<f64> {
+        self.channels
+            .get(&Self::pair(self.idx(a), self.idx(b)))
+            .map(|c| c.cable_distance_m())
+    }
+
+    fn rx_state(&mut self, src: usize, dst: usize) -> &mut RxState {
+        let cfg = self.cfg.estimator;
+        let n = self.n_carriers;
+        self.rx.entry((src, dst)).or_insert_with(|| RxState {
+            estimator: ChannelEstimator::new(cfg, n),
+            window: (0, 0),
+            ampstat: (0, 0),
+            cumulative: (0, 0),
+            last_observe: None,
+        })
+    }
+
+    /// Cached per-slot spectrum for a directed link (refreshed every
+    /// `spectrum_refresh`).
+    fn spectrum(&mut self, src: usize, dst: usize, slot: usize) -> &SnrSpectrum {
+        let key = (src, dst, slot as u8);
+        let refresh = self.cfg.spectrum_refresh;
+        let now = self.now;
+        let needs = match self.spectra.get(&key) {
+            Some(c) => now.saturating_since(c.at) >= refresh,
+            None => true,
+        };
+        if needs {
+            let ch = self
+                .channels
+                .get(&Self::pair(src, dst))
+                .expect("channel exists for active link");
+            let phase = (slot as f64 + 0.5) / TONEMAP_SLOTS as f64;
+            let spec = ch.spectrum_at_phase(Self::dir(src, dst), now, phase);
+            self.spectra.insert(
+                key,
+                CachedSpectrum {
+                    at: now,
+                    spec,
+                    pberr_for: None,
+                },
+            );
+        }
+        &self.spectra.get(&key).expect("just inserted").spec
+    }
+
+    /// PBerr of `map` against the cached spectrum, memoized per tone-map
+    /// id.
+    fn pberr_for(&mut self, src: usize, dst: usize, slot: usize, map: &ToneMap) -> f64 {
+        self.spectrum(src, dst, slot); // ensure fresh
+        let key = (src, dst, slot as u8);
+        let cached = self.spectra.get_mut(&key).expect("cached");
+        if let Some((id, p)) = cached.pberr_for {
+            if id == map.id {
+                return p;
+            }
+        }
+        let p = pb_error_prob(map, &cached.spec);
+        cached.pberr_for = Some((map.id, p));
+        p
+    }
+
+    // ----- Measurement interface (management messages & sniffer) -----
+
+    /// `int6krate`-style query: the average BLE the destination's
+    /// estimator currently advertises for `src → dst`, Mb/s.
+    pub fn int6krate(&self, src: StationId, dst: StationId) -> f64 {
+        let (s, d) = (self.idx(src), self.idx(dst));
+        self.rx
+            .get(&(s, d))
+            .map(|r| r.estimator.ble_avg())
+            .unwrap_or_else(|| ToneMap::robo(self.n_carriers).ble())
+    }
+
+    /// BLE of one tone-map slot for `src → dst`, Mb/s.
+    pub fn ble_slot(&self, src: StationId, dst: StationId, slot: usize) -> f64 {
+        let (s, d) = (self.idx(src), self.idx(dst));
+        self.rx
+            .get(&(s, d))
+            .map(|r| r.estimator.ble_slot(slot))
+            .unwrap_or_else(|| ToneMap::robo(self.n_carriers).ble())
+    }
+
+    /// `ampstat`-style query: PB error rate on `src → dst` since the last
+    /// call (drains the tool window). `None` when no PBs flowed.
+    pub fn ampstat(&mut self, src: StationId, dst: StationId) -> Option<f64> {
+        let (s, d) = (self.idx(src), self.idx(dst));
+        let rx = self.rx.get_mut(&(s, d))?;
+        let (total, err) = rx.ampstat;
+        rx.ampstat = (0, 0);
+        if total == 0 {
+            None
+        } else {
+            Some(err as f64 / total as f64)
+        }
+    }
+
+    /// Cumulative PB counters (total, errored) for `src → dst`.
+    pub fn pb_counters(&self, src: StationId, dst: StationId) -> (u64, u64) {
+        let (s, d) = (self.idx(src), self.idx(dst));
+        self.rx.get(&(s, d)).map(|r| r.cumulative).unwrap_or((0, 0))
+    }
+
+    /// Factory-reset a station: clears every channel estimate it holds as
+    /// a receiver and every estimate other stations hold about links *to*
+    /// it (tone maps are per-link state shared by both ends).
+    pub fn reset_device(&mut self, station: StationId) {
+        let idx = self.idx(station);
+        for ((s, d), rx) in self.rx.iter_mut() {
+            if *s == idx || *d == idx {
+                rx.estimator.reset();
+                rx.window = (0, 0);
+            }
+        }
+    }
+
+    /// Drain packets delivered on a unicast flow.
+    pub fn take_delivered(&mut self, flow: usize) -> Vec<CompletedPacket> {
+        std::mem::take(&mut self.flows[flow].delivered)
+    }
+
+    /// Drain the per-packet transmission counts (frames each delivered
+    /// packet needed — the U-ETX samples of §8.1).
+    pub fn take_tx_counts(&mut self, flow: usize) -> Vec<u32> {
+        std::mem::take(&mut self.flows[flow].delivered_tx_counts)
+    }
+
+    /// Broadcast reception counters per receiving station:
+    /// (received, lost).
+    pub fn broadcast_stats(&self, flow: usize) -> &HashMap<StationId, (u64, u64)> {
+        &self.flows[flow].broadcast_rx
+    }
+
+    /// Packets dropped at the source queue of a flow.
+    pub fn dropped(&self, flow: usize) -> u64 {
+        self.flows[flow].dropped
+    }
+
+    /// Captured SoF delimiters (requires `cfg.sniffer`).
+    pub fn sniffer_records(&self) -> &[SofRecord] {
+        &self.sniffer
+    }
+
+    /// Drain captured SoF delimiters.
+    pub fn take_sniffer_records(&mut self) -> Vec<SofRecord> {
+        std::mem::take(&mut self.sniffer)
+    }
+
+    // ----- Simulation engine -----
+
+    /// Run the simulation until `end`.
+    pub fn run_until(&mut self, end: Time) {
+        while self.now < end {
+            self.step(end);
+        }
+    }
+
+    /// If `t` falls inside a beacon region, the end of that region;
+    /// otherwise `t`.
+    fn skip_beacon_region(t: Time) -> Time {
+        let offset = Duration(t.as_nanos() % BEACON_PERIOD.as_nanos());
+        if offset < timing::BEACON_REGION {
+            t + (timing::BEACON_REGION - offset)
+        } else {
+            t
+        }
+    }
+
+    /// Time remaining until the next beacon region starts (from `t`, which
+    /// must not be inside a region).
+    fn time_to_beacon(t: Time) -> Duration {
+        let offset = Duration(t.as_nanos() % BEACON_PERIOD.as_nanos());
+        BEACON_PERIOD - offset
+    }
+
+    /// Pull packets from traffic sources into per-flow PB queues.
+    fn refill_queues(&mut self) {
+        let cap = self.cfg.queue_cap_pbs;
+        let now = self.now;
+        for fs in &mut self.flows {
+            loop {
+                // Peek the next packet's size from the pattern so a packet
+                // is only pulled when its PBs fit (backpressure, not loss:
+                // the file-transfer source must deliver every byte).
+                let pkt_bytes = match fs.flow.source.pattern() {
+                    simnet::traffic::TrafficPattern::Saturated { pkt_bytes }
+                    | simnet::traffic::TrafficPattern::Cbr { pkt_bytes, .. }
+                    | simnet::traffic::TrafficPattern::Bursts { pkt_bytes, .. }
+                    | simnet::traffic::TrafficPattern::FileTransfer { pkt_bytes, .. } => pkt_bytes,
+                };
+                if fs.queue.len() + pbs_for_packet(pkt_bytes) as usize > cap {
+                    break;
+                }
+                match fs.flow.source.take(now) {
+                    Some(pkt) => {
+                        for pb in QueuedPb::segment(pkt.seq, pkt.bytes, pkt.created) {
+                            fs.queue.push_back(pb);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// The earliest future packet arrival over all flows.
+    fn next_arrival(&self) -> Option<Time> {
+        self.flows
+            .iter()
+            .filter(|fs| fs.queue.is_empty())
+            .filter_map(|fs| fs.flow.source.next_arrival(self.now))
+            .min()
+    }
+
+    fn step(&mut self, end: Time) {
+        self.now = Self::skip_beacon_region(self.now);
+        if self.now >= end {
+            self.now = end;
+            return;
+        }
+        self.refill_queues();
+        // Stations with queued PBs contend; the PRS0/PRS1 slots resolve
+        // priority first, so only the highest signalled class proceeds to
+        // the backoff countdown.
+        let ready: Vec<usize> = (0..self.stations.len())
+            .filter(|&i| {
+                self.stations[i]
+                    .flows
+                    .iter()
+                    .any(|&f| !self.flows[f].queue.is_empty())
+            })
+            .collect();
+        let top_priority = ready
+            .iter()
+            .map(|&i| self.station_priority(i))
+            .max()
+            .unwrap_or(Priority::Ca1);
+        let contenders: Vec<usize> = ready
+            .iter()
+            .copied()
+            .filter(|&i| self.station_priority(i) == top_priority)
+            .collect();
+        if contenders.is_empty() {
+            // Idle medium: advance to the next arrival (or end).
+            let next = self.next_arrival().unwrap_or(end).min(end);
+            self.now = Self::skip_beacon_region(next.max(self.now + Duration::from_micros(1)));
+            return;
+        }
+        // Ensure backoff state.
+        for &i in &contenders {
+            if self.stations[i].backoff.is_none() {
+                self.stations[i].backoff = Some(BackoffState::new(&mut self.rng));
+            }
+        }
+        let m = contenders
+            .iter()
+            .map(|&i| self.stations[i].backoff.as_ref().expect("set above").backoff_slots())
+            .min()
+            .expect("non-empty");
+        let contention = timing::SLOT * (timing::PRS_SLOTS + m as u64);
+        // Make sure the whole exchange fits before the next beacon region.
+        let budget = Self::time_to_beacon(self.now);
+        // `frame_exchange_overhead` already counts the PRS slots once;
+        // adding `contention` (PRS + backoff) double-counts them, which is
+        // deliberately conservative: a one-symbol frame must comfortably
+        // fit before the beacon region.
+        let min_needed =
+            contention + timing::frame_exchange_overhead() + Duration::from_micros_f64(SYMBOL_US);
+        if budget < min_needed {
+            self.now = Self::skip_beacon_region(self.now + budget);
+            return;
+        }
+        self.now += contention;
+        let winners: Vec<usize> = contenders
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.stations[i].backoff.as_ref().expect("set").backoff_slots() == m
+            })
+            .collect();
+        for &i in &contenders {
+            if !winners.contains(&i) {
+                let st = self.stations[i].backoff.as_mut().expect("set");
+                st.elapse_idle(m);
+            }
+        }
+        // Frame-duration budget until the beacon region.
+        let frame_budget = (Self::time_to_beacon(self.now)
+            .saturating_sub(timing::frame_exchange_overhead()))
+        .min(timing::MAX_FRAME);
+        if winners.len() == 1 {
+            self.transmit(winners[0], frame_budget, None);
+        } else {
+            self.collide(&winners, frame_budget);
+        }
+        // Non-winning contenders sensed the medium busy: 1901 deferral
+        // (skipped under the 802.11-style ablation).
+        if !self.cfg.disable_deferral {
+            for &i in &contenders {
+                if !winners.contains(&i) {
+                    let st = self.stations[i].backoff.as_mut().expect("set");
+                    st.on_busy(&mut self.rng);
+                }
+            }
+        }
+    }
+
+    /// The highest priority among a station's backlogged flows.
+    fn station_priority(&self, station: usize) -> Priority {
+        self.stations[station]
+            .flows
+            .iter()
+            .filter(|&&f| !self.flows[f].queue.is_empty())
+            .map(|&f| self.flows[f].flow.priority)
+            .max()
+            .unwrap_or(Priority::Ca1)
+    }
+
+    /// Pick the next flow of a station: round robin over the non-empty
+    /// queues of its current (highest) priority class.
+    fn pick_flow(&mut self, station: usize) -> Option<usize> {
+        let class = self.station_priority(station);
+        let n = self.stations[station].flows.len();
+        for k in 0..n {
+            let at = (self.stations[station].rr + k) % n;
+            let f = self.stations[station].flows[at];
+            if !self.flows[f].queue.is_empty() && self.flows[f].flow.priority == class {
+                self.stations[station].rr = (at + 1) % n;
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Build the frame a station would transmit now: drains PBs from the
+    /// chosen flow. Returns (flow, PBs, tone map, n_symbols, duration).
+    fn build_frame(
+        &mut self,
+        station: usize,
+        budget: Duration,
+    ) -> Option<(usize, Vec<QueuedPb>, ToneMap, u64, Duration)> {
+        let f = self.pick_flow(station)?;
+        let is_broadcast = self.flows[f].flow.is_broadcast();
+        let slot = self.now.tonemap_slot(TONEMAP_SLOTS);
+        let map = if is_broadcast {
+            ToneMap::robo(self.n_carriers)
+        } else {
+            let src = self.idx(self.flows[f].flow.src);
+            let dst = self.idx(self.flows[f].flow.dst);
+            // The sender uses the tone map the destination last sent it;
+            // before any estimation it falls back to ROBO (sound frames).
+            let rx = self.rx_state(src, dst);
+            if rx.estimator.last_regen().is_some() {
+                rx.estimator.tonemaps().slots[slot].clone()
+            } else {
+                ToneMap::robo(self.n_carriers)
+            }
+        };
+        let bits_per_sym = map.info_bits_per_symbol();
+        if bits_per_sym <= 0.0 {
+            // Dead tone map: fall back to ROBO so the link can re-sound.
+            let robo = ToneMap::robo(self.n_carriers);
+            return self.drain_pbs(f, robo, budget);
+        }
+        self.drain_pbs(f, map, budget)
+    }
+
+    fn drain_pbs(
+        &mut self,
+        f: usize,
+        map: ToneMap,
+        budget: Duration,
+    ) -> Option<(usize, Vec<QueuedPb>, ToneMap, u64, Duration)> {
+        // Effective payload rate of the frame body: PB padding, partial
+        // last symbols and slot truncation shave off a calibrated factor.
+        let bits_per_sym = map.info_bits_per_symbol() * self.cfg.frame_efficiency;
+        let max_syms = (budget.as_micros_f64() / SYMBOL_US).floor() as u64;
+        if max_syms == 0 || bits_per_sym <= 0.0 {
+            return None;
+        }
+        let max_pbs = ((max_syms as f64 * bits_per_sym) / PB_WIRE_BITS as f64).floor() as usize;
+        let take = self.flows[f].queue.len().min(max_pbs.max(1));
+        let pbs: Vec<QueuedPb> = self.flows[f].queue.drain(..take).collect();
+        let n_sym = ((pbs.len() as u64 * PB_WIRE_BITS) as f64 / bits_per_sym)
+            .ceil()
+            .max(1.0)
+            .min(max_syms as f64) as u64;
+        let duration = Duration::from_micros_f64(n_sym as f64 * SYMBOL_US);
+        Some((f, pbs, map, n_sym, duration))
+    }
+
+    /// Successful (uncollided) transmission of one frame.
+    /// `degraded_to` carries the capture-effect SINR when this frame is
+    /// being decoded under interference.
+    fn transmit(&mut self, station: usize, budget: Duration, degraded_to: Option<f64>) {
+        let Some((f, pbs, map, n_sym, duration)) = self.build_frame(station, budget) else {
+            // Nothing to send after all: burn a slot.
+            self.now += timing::SLOT;
+            return;
+        };
+        let slot = self.now.tonemap_slot(TONEMAP_SLOTS);
+        let src = self.idx(self.flows[f].flow.src);
+        let is_broadcast = self.flows[f].flow.is_broadcast();
+        // Record per-packet participation (U-ETX numerator).
+        let mut seen = std::collections::HashSet::new();
+        for pb in &pbs {
+            if seen.insert(pb.packet_seq) {
+                *self.flows[f].tx_counts.entry(pb.packet_seq).or_insert(0) += 1;
+            }
+        }
+        if self.cfg.sniffer {
+            self.sniffer.push(SofRecord {
+                t: self.now,
+                sof: SofDelimiter {
+                    src: self.ids[src],
+                    dst: self.flows[f].flow.dst,
+                    ble_mbps: map.ble(),
+                    tonemap_id: map.id,
+                    slot: slot as u8,
+                    n_symbols: n_sym,
+                },
+            });
+        }
+        if is_broadcast {
+            self.receive_broadcast(f, src, &pbs, &map, slot);
+        } else {
+            let dst = self.idx(self.flows[f].flow.dst);
+            self.receive_unicast(f, src, dst, pbs, &map, slot, n_sym, degraded_to);
+        }
+        // Advance the medium: PRS and backoff already elapsed in step().
+        self.now += timing::PREAMBLE + duration + timing::RIFS + timing::PREAMBLE + timing::CIFS
+            + self.cfg.exchange_extra;
+        if let Some(b) = self.stations[station].backoff.as_mut() {
+            b.on_success(&mut self.rng);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn receive_unicast(
+        &mut self,
+        f: usize,
+        src: usize,
+        dst: usize,
+        pbs: Vec<QueuedPb>,
+        map: &ToneMap,
+        slot: usize,
+        n_sym: u64,
+        degraded_to: Option<f64>,
+    ) {
+        let pbs_len = pbs.len();
+        let mut pberr = self.pberr_for(src, dst, slot, map);
+        if degraded_to.is_some() {
+            pberr = pberr.max(self.cfg.capture_pberr);
+        }
+        // Draw errors, SACK, selective retransmission.
+        let now = self.now;
+        let mut failed: Vec<QueuedPb> = Vec::new();
+        let mut n_err = 0u64;
+        for pb in &pbs {
+            if Distributions::bernoulli(&mut self.rng, pberr) {
+                failed.push(*pb);
+                n_err += 1;
+            } else {
+                self.flows[f].reassembler.accept(*pb, now);
+            }
+        }
+        let n_total = pbs.len() as u64;
+        // Corrupted PBs go back to the head of the queue, in order.
+        for pb in failed.into_iter().rev() {
+            self.flows[f].queue.push_front(pb);
+        }
+        // Completed packets.
+        for done in self.flows[f].reassembler.take_completed() {
+            if let Some(txc) = self.flows[f].tx_counts.remove(&done.seq) {
+                self.flows[f].delivered_tx_counts.push(txc);
+            }
+            self.flows[f].delivered.push(done);
+        }
+        // Estimation pipeline at the receiver.
+        let gap = self.cfg.observe_min_gap;
+        let refresh_needed = {
+            let rx = self.rx_state(src, dst);
+            rx.window.0 += n_total;
+            rx.window.1 += n_err;
+            rx.ampstat.0 += n_total;
+            rx.ampstat.1 += n_err;
+            rx.cumulative.0 += n_total;
+            rx.cumulative.1 += n_err;
+            rx.last_observe.is_none_or(|t| now.saturating_since(t) >= gap)
+        };
+        if refresh_needed {
+            // Snapshot the spectrum (degraded under capture: the receiver
+            // cannot tell collision noise from channel noise — §8.2).
+            let spec = self.spectrum(src, dst, slot).clone();
+            let spec = match degraded_to {
+                Some(sinr) => SnrSpectrum {
+                    snr_db: spec.snr_db.iter().map(|s| s.min(sinr)).collect(),
+                },
+                None => spec,
+            };
+            let rx = self.rx.get_mut(&(src, dst)).expect("created above");
+            rx.estimator.observe(&mut self.rng, slot, &spec, n_sym, pbs_len as u32);
+            rx.last_observe = Some(now);
+        }
+        // Tone-map maintenance.
+        let rx = self.rx.get_mut(&(src, dst)).expect("created above");
+        let recent = if rx.window.0 >= 20 {
+            rx.window.1 as f64 / rx.window.0 as f64
+        } else {
+            0.0
+        };
+        if rx.estimator.maybe_regenerate(now, recent) {
+            rx.window = (0, 0);
+        }
+    }
+
+    fn receive_broadcast(
+        &mut self,
+        f: usize,
+        src: usize,
+        pbs: &[QueuedPb],
+        map: &ToneMap,
+        slot: usize,
+    ) {
+        // Every other connected station attempts reception; a packet is
+        // lost for a receiver when any of its PBs fails. No SACK, no
+        // retransmission (paper §8.1).
+        let receivers: Vec<usize> = (0..self.stations.len())
+            .filter(|&r| r != src && self.channels.contains_key(&Self::pair(src, r)))
+            .collect();
+        // Broadcast frames here carry whole packets (probes are single
+        // packets); group PBs by packet.
+        let mut packets: HashMap<u64, u32> = HashMap::new();
+        for pb in pbs {
+            *packets.entry(pb.packet_seq).or_insert(0) += 1;
+        }
+        for r in receivers {
+            let pberr = {
+                let spec = self.spectrum(src, r, slot).clone();
+                pb_error_prob(map, &spec)
+            };
+            let mut lost_pkts = 0u64;
+            let mut ok_pkts = 0u64;
+            for n_pbs in packets.values() {
+                let mut ok = true;
+                for _ in 0..*n_pbs {
+                    if Distributions::bernoulli(&mut self.rng, pberr) {
+                        ok = false;
+                    }
+                }
+                if ok {
+                    ok_pkts += 1;
+                } else {
+                    lost_pkts += 1;
+                }
+            }
+            let entry = self.flows[f]
+                .broadcast_rx
+                .entry(self.ids[r])
+                .or_insert((0, 0));
+            entry.0 += ok_pkts;
+            entry.1 += lost_pkts;
+        }
+    }
+
+    /// Two or more stations transmitted in the same slot.
+    fn collide(&mut self, winners: &[usize], budget: Duration) {
+        // Build all frames first (drains queues).
+        let mut built: Vec<(usize, usize, Vec<QueuedPb>, ToneMap, u64, Duration)> = Vec::new();
+        for &w in winners {
+            if let Some((f, pbs, map, n_sym, dur)) = self.build_frame(w, budget) {
+                built.push((w, f, pbs, map, n_sym, dur));
+            }
+        }
+        if built.is_empty() {
+            self.now += timing::SLOT;
+            return;
+        }
+        let max_dur = built.iter().map(|b| b.5).max().expect("non-empty");
+        let longest = built
+            .iter()
+            .map(|b| b.5.as_nanos())
+            .max()
+            .expect("non-empty");
+        let now = self.now;
+        for (w, f, pbs, map, n_sym, dur) in built {
+            // U-ETX accounting: this was a (failed or captured) attempt.
+            let mut seen = std::collections::HashSet::new();
+            for pb in &pbs {
+                if seen.insert(pb.packet_seq) {
+                    *self.flows[f].tx_counts.entry(pb.packet_seq).or_insert(0) += 1;
+                }
+            }
+            let is_broadcast = self.flows[f].flow.is_broadcast();
+            let captured = !is_broadcast && self.cfg.capture_effect && {
+                let src = self.idx(self.flows[f].flow.src);
+                let dst = self.idx(self.flows[f].flow.dst);
+                // Interferer must dwarf this frame in duration, and the
+                // signal must dominate the interference at the receiver.
+                let dominated = longest as f64 >= self.cfg.capture_duration_ratio * dur.as_nanos() as f64;
+                dominated && self.capture_sinr(src, dst, w) > self.cfg.capture_sinr_db
+            };
+            if captured {
+                let src = self.idx(self.flows[f].flow.src);
+                let dst = self.idx(self.flows[f].flow.dst);
+                let sinr = self.capture_sinr(src, dst, w);
+                let slot = now.tonemap_slot(TONEMAP_SLOTS);
+                if self.cfg.sniffer {
+                    self.sniffer.push(SofRecord {
+                        t: now,
+                        sof: SofDelimiter {
+                            src: self.ids[src],
+                            dst: self.flows[f].flow.dst,
+                            ble_mbps: map.ble(),
+                            tonemap_id: map.id,
+                            slot: slot as u8,
+                            n_symbols: n_sym,
+                        },
+                    });
+                }
+                self.receive_unicast(f, src, dst, pbs, &map, slot, n_sym, Some(sinr));
+            } else {
+                // Frame lost entirely: PBs return to the queue head.
+                for pb in pbs.into_iter().rev() {
+                    self.flows[f].queue.push_front(pb);
+                }
+            }
+            if let Some(b) = self.stations[w].backoff.as_mut() {
+                b.on_collision(&mut self.rng);
+            }
+        }
+        self.now += timing::PREAMBLE + max_dur + timing::RIFS + timing::PREAMBLE + timing::CIFS
+            + self.cfg.exchange_extra;
+    }
+
+    /// Signal-to-interference ratio (dB) at the receiver `dst` of the link
+    /// `src → dst`, under interference from station `interferer != src`'s
+    /// co-channel transmission. Uses mean spectra as a wideband proxy.
+    fn capture_sinr(&mut self, src: usize, dst: usize, _this_winner: usize) -> f64 {
+        let now = self.now;
+        let slot = now.tonemap_slot(TONEMAP_SLOTS);
+        let signal = self.spectrum(src, dst, slot).mean_db();
+        // Strongest interferer among the other current transmitters is
+        // approximated by the strongest co-channel path to this receiver.
+        let mut interference: f64 = f64::NEG_INFINITY;
+        let others: Vec<usize> = (0..self.stations.len())
+            .filter(|&i| i != src && i != dst && self.channels.contains_key(&Self::pair(i, dst)))
+            .collect();
+        for o in others {
+            let m = self.spectrum(o, dst, slot).mean_db();
+            interference = interference.max(m);
+        }
+        if interference.is_finite() {
+            signal - interference
+        } else {
+            // No modelled interference path: effectively clean capture.
+            40.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::appliance::ApplianceKind;
+    use simnet::schedule::Schedule;
+    use simnet::traffic::TrafficPattern;
+
+    /// Small test grid: a bus with four outlets and mild loads.
+    fn grid4() -> (Grid, Vec<(StationId, NodeId)>) {
+        let mut g = Grid::new();
+        let j0 = g.add_junction("j0");
+        let j1 = g.add_junction("j1");
+        let j2 = g.add_junction("j2");
+        g.connect(j0, j1, 12.0);
+        g.connect(j1, j2, 12.0);
+        let mut outlets = Vec::new();
+        for (i, j) in [(0u16, j0), (1, j0), (2, j1), (3, j2)] {
+            let o = g.add_outlet(format!("s{i}"));
+            g.connect(j, o, 3.0 + i as f64);
+            outlets.push((i, o));
+        }
+        // Two appliances to give the channels texture.
+        let oa = g.add_outlet("pc");
+        g.connect(j1, oa, 2.0);
+        g.attach(oa, ApplianceKind::DesktopPc, Schedule::AlwaysOn);
+        let ob = g.add_outlet("printer");
+        g.connect(j2, ob, 2.0);
+        g.attach(ob, ApplianceKind::LaserPrinter, Schedule::AlwaysOn);
+        (g, outlets)
+    }
+
+    fn sim(cfg: SimConfig) -> PlcSim {
+        let (g, outlets) = grid4();
+        PlcSim::new(cfg, &g, &outlets)
+    }
+
+    #[test]
+    fn saturated_flow_delivers_packets() {
+        let mut s = sim(SimConfig::default());
+        let f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(2));
+        let delivered = s.take_delivered(f);
+        assert!(
+            delivered.len() > 1000,
+            "only {} packets in 2 s",
+            delivered.len()
+        );
+        // Sequence numbers are delivered (mostly) in order and unique.
+        let mut seqs: Vec<u64> = delivered.iter().map(|p| p.seq).collect();
+        let len_before = seqs.len();
+        seqs.dedup();
+        assert_eq!(seqs.len(), len_before, "duplicate deliveries");
+    }
+
+    #[test]
+    fn throughput_is_in_a_sane_hpav_range() {
+        let mut s = sim(SimConfig::default());
+        let f = s.add_flow(Flow::unicast(0, 1, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(3));
+        let delivered = s.take_delivered(f);
+        let bytes: u64 = delivered.len() as u64 * 1500;
+        let mbps = bytes as f64 * 8.0 / 3.0 / 1e6;
+        // Station 0 and 1 share an outlet junction: a very good link.
+        // HPAV UDP tops out around 80-90 Mb/s in the paper.
+        assert!((30.0..100.0).contains(&mbps), "throughput={mbps} Mb/s");
+    }
+
+    #[test]
+    fn ble_rises_from_robo_with_traffic() {
+        let mut s = sim(SimConfig::default());
+        let robo = s.int6krate(0, 2);
+        let _f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(2));
+        let after = s.int6krate(0, 2);
+        assert!(robo < 7.0, "initial BLE should be ROBO: {robo}");
+        assert!(after > 3.0 * robo, "BLE should grow: {after} vs {robo}");
+    }
+
+    #[test]
+    fn two_saturated_flows_share_the_medium() {
+        let mut s = sim(SimConfig::default());
+        let f1 = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        let f2 = s.add_flow(Flow::unicast(1, 3, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(3));
+        let d1 = s.take_delivered(f1).len() as f64;
+        let d2 = s.take_delivered(f2).len() as f64;
+        assert!(d1 > 100.0 && d2 > 100.0, "d1={d1} d2={d2}");
+        // Long-run shares are within a factor ~3 (1901 is short-term
+        // unfair but long-term roughly fair for equal-quality links).
+        let ratio = d1.max(d2) / d1.min(d2);
+        assert!(ratio < 3.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn cbr_flow_respects_its_rate() {
+        let mut s = sim(SimConfig::default());
+        let f = s.add_flow(Flow::unicast(0, 3, TrafficSource::probe_150kbps()));
+        s.run_until(Time::from_secs(10));
+        let delivered = s.take_delivered(f);
+        let rate = delivered.len() as f64 * 1500.0 * 8.0 / 10.0;
+        assert!(
+            (rate - 150_000.0).abs() / 150_000.0 < 0.1,
+            "rate={rate} b/s"
+        );
+    }
+
+    #[test]
+    fn sniffer_captures_sof_with_slot_periodicity() {
+        let cfg = SimConfig {
+            sniffer: true,
+            ..SimConfig::default()
+        };
+        let mut s = sim(cfg);
+        let _f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(1));
+        let recs = s.sniffer_records();
+        assert!(recs.len() > 100, "{} records", recs.len());
+        // Slots must cycle 0..6 and match the capture timestamp.
+        for r in recs {
+            assert_eq!(r.sof.slot as usize, r.t.tonemap_slot(TONEMAP_SLOTS));
+            assert!(r.sof.ble_mbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn tx_counts_track_retransmissions() {
+        let mut s = sim(SimConfig::default());
+        let f = s.add_flow(Flow::unicast(0, 3, TrafficSource::probe_150kbps()));
+        s.run_until(Time::from_secs(20));
+        let counts = s.take_tx_counts(f);
+        assert!(!counts.is_empty());
+        // Every delivered packet needed at least one frame.
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_stations_with_low_loss() {
+        let mut s = sim(SimConfig::default());
+        let f = s.add_flow(Flow::broadcast(
+            0,
+            TrafficSource::new(
+                TrafficPattern::Cbr {
+                    rate_bps: 120_000.0,
+                    pkt_bytes: 1500,
+                },
+                Time::ZERO,
+            ),
+        ));
+        s.run_until(Time::from_secs(10));
+        let stats = s.broadcast_stats(f);
+        assert_eq!(stats.len(), 3, "three receivers");
+        for (recv, (ok, lost)) in stats {
+            assert!(*ok > 50, "receiver {recv}: ok={ok}");
+            let loss = *lost as f64 / (*ok + *lost) as f64;
+            // ROBO modulation: losses should be small on this testbed.
+            assert!(loss < 0.2, "receiver {recv}: loss={loss}");
+        }
+    }
+
+    #[test]
+    fn ampstat_window_drains() {
+        let mut s = sim(SimConfig::default());
+        let _f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(1));
+        let first = s.ampstat(0, 2);
+        assert!(first.is_some());
+        // Immediately after draining, no new PBs: None.
+        let second = s.ampstat(0, 2);
+        assert!(second.is_none());
+        let (total, err) = s.pb_counters(0, 2);
+        assert!(total > 0);
+        assert!(err <= total);
+    }
+
+    #[test]
+    fn reset_device_drops_estimates_to_robo() {
+        let mut s = sim(SimConfig::default());
+        let _f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(2));
+        assert!(s.int6krate(0, 2) > 20.0);
+        s.reset_device(2);
+        let robo = ToneMap::robo(PlcTechnology::HpAv.carrier_count()).ble();
+        assert!((s.int6krate(0, 2) - robo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let mut s = sim(SimConfig::default());
+            let f = s.add_flow(Flow::unicast(0, 3, TrafficSource::iperf_saturated()));
+            s.run_until(Time::from_millis(500));
+            (s.take_delivered(f).len(), s.int6krate(0, 3))
+        };
+        let (a1, b1) = run();
+        let (a2, b2) = run();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn beacon_regions_are_skipped() {
+        // The helper must push any time inside [k*40ms, k*40ms+3.2ms) out.
+        let inside = Time::from_millis(40) + Duration::from_micros(100);
+        let out = PlcSim::skip_beacon_region(inside);
+        assert_eq!(out, Time::from_millis(40) + timing::BEACON_REGION);
+        let clean = Time::from_millis(40) + Duration::from_millis(10);
+        assert_eq!(PlcSim::skip_beacon_region(clean), clean);
+    }
+
+    #[test]
+    fn higher_priority_class_dominates_contention() {
+        // A CA2 stream against a CA1 saturated flow: priority resolution
+        // gives the CA2 stream near-exclusive access while it has frames.
+        let mut s = sim(SimConfig::default());
+        let hi = s.add_flow(
+            Flow::unicast(
+                0,
+                2,
+                TrafficSource::new(
+                    TrafficPattern::Cbr {
+                        rate_bps: 10_000_000.0, // 10 Mb/s HD stream
+                        pkt_bytes: 1500,
+                    },
+                    Time::ZERO,
+                ),
+            )
+            .with_priority(Priority::Ca2),
+        );
+        let lo = s.add_flow(Flow::unicast(1, 3, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(3));
+        let hi_rate = s.take_delivered(hi).len() as f64 * 1500.0 * 8.0 / 3.0 / 1e6;
+        let lo_rate = s.take_delivered(lo).len() as f64 * 1500.0 * 8.0 / 3.0 / 1e6;
+        // The CA2 stream holds its rate despite the saturated CA1
+        // competitor (whose long frames it must still wait out between
+        // wins); the CA1 flow picks up the leftovers.
+        assert!((hi_rate - 10.0).abs() < 2.0, "hi_rate={hi_rate}");
+        assert!(lo_rate > 1.0, "lo_rate={lo_rate}");
+    }
+
+    #[test]
+    fn priority_ordering_is_total() {
+        assert!(Priority::Ca3 > Priority::Ca2);
+        assert!(Priority::Ca2 > Priority::Ca1);
+        assert!(Priority::Ca1 > Priority::Ca0);
+    }
+
+    #[test]
+    fn file_transfer_completes_and_stops() {
+        let mut s = sim(SimConfig::default());
+        let f = s.add_flow(Flow::unicast(
+            0,
+            2,
+            TrafficSource::new(
+                TrafficPattern::FileTransfer {
+                    total_bytes: 1_500_000,
+                    pkt_bytes: 1500,
+                },
+                Time::ZERO,
+            ),
+        ));
+        s.run_until(Time::from_secs(30));
+        let delivered = s.take_delivered(f);
+        assert_eq!(delivered.len(), 1000, "whole file must arrive");
+        let completion = delivered.iter().map(|p| p.delivered).max().unwrap();
+        assert!(completion < Time::from_secs(10), "completion={completion}");
+    }
+}

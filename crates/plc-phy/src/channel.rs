@@ -1,0 +1,787 @@
+//! The PLC channel between two outlets of an electrical grid.
+//!
+//! The model follows the paper's own explanation of PLC channel physics
+//! (§5, Fig. 5): the mains cable is a transmission line with
+//! characteristic impedance Z₀ ≈ 85 Ω; every appliance and branch junction
+//! presents an impedance mismatch that partially reflects the signal,
+//! creating a **multipath** channel; appliances also inject **noise** at
+//! the receiver — broadband, mains-synchronous, and impulsive.
+//!
+//! The paper's three timescales (§6) are built in:
+//!
+//! * **invariance scale** — the mains-synchronous noise component depends
+//!   on the phase within the half mains cycle, so the per-slot SNR (and
+//!   hence per-slot tone maps / BLEs) differ and repeat every 10 ms;
+//! * **cycle scale** — a temporally correlated noise fluctuation whose
+//!   standard deviation grows with the ambient appliance noise: noisy
+//!   (bad) links fluctuate more, quiet (good) links barely move;
+//! * **random scale** — appliance schedules switch impedances and noise
+//!   sources over minutes/hours, shifting both the multipath pattern and
+//!   the noise floor (the 9 pm lights-off step of Fig. 12 comes from
+//!   here).
+//!
+//! **Asymmetry** (§5) arises from two direction-dependent terms: the noise
+//! is evaluated at the *receiving* outlet, and the coupling loss caused by
+//! low-impedance appliances near an outlet penalizes *injection* (transmit
+//! side) more than extraction — "a high electrical-load existing close to
+//! one of the two stations" (paper §5).
+
+use crate::carrier::{CarrierPlan, PlcTechnology};
+use serde::{Deserialize, Serialize};
+use simnet::appliance::{ApplianceProfile, CABLE_Z0_OHMS};
+use simnet::grid::{Grid, NodeId, NodeKind};
+use simnet::noise::{impulse_at, ValueNoise};
+use simnet::schedule::Schedule;
+use simnet::time::Time;
+
+/// Direction of a (bidirectional) physical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkDir {
+    /// From endpoint A (first constructor argument) to endpoint B.
+    AtoB,
+    /// From endpoint B to endpoint A.
+    BtoA,
+}
+
+impl LinkDir {
+    /// The opposite direction.
+    pub fn reverse(self) -> LinkDir {
+        match self {
+            LinkDir::AtoB => LinkDir::BtoA,
+            LinkDir::BtoA => LinkDir::AtoB,
+        }
+    }
+}
+
+/// Tunable physical constants of the channel model. The defaults are
+/// calibrated so that the testbed reproduces the paper's ranges (BLE up to
+/// ~147 Mb/s on HPAV, bare-cable links losing almost nothing over 70 m,
+/// multi-tap links degrading steeply).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlcChannelParams {
+    /// Transmit power spectral density (dBm/Hz), flat over the band.
+    pub tx_psd_dbm_hz: f64,
+    /// Cable attenuation in dB per metre per √MHz. Deliberately small:
+    /// the paper measured that 70 m of bare cable costs at most ~2 Mb/s;
+    /// almost all attenuation comes from taps.
+    pub cable_alpha: f64,
+    /// Extra attenuation for crossing a distribution board (fuses and
+    /// breakers are poor HF conductors). The two boards of the testbed
+    /// make inter-board links hard (paper §3.1).
+    pub board_transit_db: f64,
+    /// Scale of the static frequency-selective "clutter" attenuation that
+    /// models unrepresented wiring details; gives same-distance links
+    /// different fates (paper Fig. 7's vertical spread).
+    pub clutter_db: f64,
+    /// Series impedance added per metre of branch stub between a junction
+    /// and an appliance (tempers the reflection of remote appliances).
+    pub stub_ohms_per_m: f64,
+    /// Scale applied to per-tap transit losses. Raw transmission-line
+    /// arithmetic over-counts because real taps are frequency-selective
+    /// and partially matched; calibrated so a fully populated office
+    /// corridor costs tens of dB end-to-end, not hundreds (paper Fig. 7's
+    /// links survive 100 m with a dozen offices in between).
+    pub tap_transit_scale: f64,
+    /// Relative amplitude scale of echo paths against the direct path.
+    pub echo_gain: f64,
+    /// Receiver noise floor at high frequency (dBm/Hz).
+    pub noise_floor_dbm_hz: f64,
+    /// Additional low-frequency noise (dB above the floor at f → 0).
+    pub noise_lowfreq_db: f64,
+    /// Exponential knee of the low-frequency noise component (MHz).
+    pub noise_knee_mhz: f64,
+    /// Cable radius (m) within which appliances contribute noise at the
+    /// receiver (contributions decay as exp(−d/range)).
+    pub appliance_noise_range_m: f64,
+    /// Cable radius (m) within which low-impedance appliances load a
+    /// modem's coupling.
+    pub coupling_range_m: f64,
+    /// Weight of the coupling loss on the transmit (injection) side.
+    pub injection_weight: f64,
+    /// Weight of the coupling loss on the receive (extraction) side.
+    /// Smaller than injection: this difference is an asymmetry source.
+    pub extraction_weight: f64,
+    /// Baseline cycle-scale noise std (dB) on a perfectly quiet line.
+    pub cycle_sigma_base_db: f64,
+    /// Extra cycle-scale noise std per dB of ambient appliance noise.
+    pub cycle_sigma_per_noise_db: f64,
+    /// Correlation time of the cycle-scale fluctuation (seconds).
+    pub cycle_corr_s: f64,
+    /// Noise boost while an impulsive event is active (dB).
+    pub impulse_boost_db: f64,
+    /// Duration of an impulsive noise event (seconds).
+    pub impulse_dur_s: f64,
+    /// Width of the mains-synchronous noise bump, as a fraction of the
+    /// half mains cycle.
+    pub sync_bump_width: f64,
+    /// Maximum static receiver-side noise (dB above the floor) from
+    /// unmodelled sources — neighbouring floors, building infrastructure,
+    /// devices outside the modelled radius. Drawn per link endpoint from
+    /// the link seed with a strong (quartic) skew: most outlets are
+    /// quiet, a few are very noisy. It keeps bad links bad even at night
+    /// (the §6.2 night-time measurements still show churn on bad links)
+    /// and, because the two endpoints draw independently, it is a major
+    /// source of the §5 link asymmetry.
+    pub static_noise_max_db: f64,
+}
+
+impl Default for PlcChannelParams {
+    fn default() -> Self {
+        PlcChannelParams {
+            tx_psd_dbm_hz: -55.0,
+            cable_alpha: 0.04,
+            board_transit_db: 19.0,
+            clutter_db: 9.0,
+            stub_ohms_per_m: 20.0,
+            tap_transit_scale: 0.35,
+            echo_gain: 0.6,
+            noise_floor_dbm_hz: -118.0,
+            noise_lowfreq_db: 25.0,
+            noise_knee_mhz: 8.0,
+            appliance_noise_range_m: 12.0,
+            coupling_range_m: 8.0,
+            injection_weight: 1.0,
+            extraction_weight: 0.25,
+            cycle_sigma_base_db: 0.35,
+            cycle_sigma_per_noise_db: 0.12,
+            cycle_corr_s: 0.8,
+            impulse_boost_db: 12.0,
+            impulse_dur_s: 0.02,
+            sync_bump_width: 0.12,
+            static_noise_max_db: 20.0,
+        }
+    }
+}
+
+/// An appliance load hanging off the transmission path at a tap point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TapLoad {
+    profile: ApplianceProfile,
+    schedule: Schedule,
+    /// Stub length from the junction to the appliance, metres.
+    stub_m: f64,
+}
+
+/// A reflection point along the path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tap {
+    /// Distance from endpoint A along the path, metres.
+    dist_from_a_m: f64,
+    /// Appliance loads reachable behind this tap.
+    loads: Vec<TapLoad>,
+    /// Branch cables without modelled appliances (present a Z₀ stub).
+    bare_branches: usize,
+}
+
+/// An appliance near one endpoint (noise source / coupling load).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LocalAppliance {
+    profile: ApplianceProfile,
+    schedule: Schedule,
+    dist_m: f64,
+    seed: u64,
+}
+
+/// Per-carrier SNR snapshot of one link direction at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnrSpectrum {
+    /// SNR per carrier, dB.
+    pub snr_db: Vec<f64>,
+}
+
+impl SnrSpectrum {
+    /// Mean SNR over carriers, dB.
+    pub fn mean_db(&self) -> f64 {
+        if self.snr_db.is_empty() {
+            return f64::NAN;
+        }
+        self.snr_db.iter().sum::<f64>() / self.snr_db.len() as f64
+    }
+}
+
+/// The physical channel between two outlets, both directions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlcChannel {
+    plan: CarrierPlan,
+    params: PlcChannelParams,
+    length_m: f64,
+    boards_crossed: usize,
+    taps: Vec<Tap>,
+    local_a: Vec<LocalAppliance>,
+    local_b: Vec<LocalAppliance>,
+    clutter: ValueNoise,
+    cycle_ab: ValueNoise,
+    cycle_ba: ValueNoise,
+    /// Static unmodelled noise at each endpoint's receiver, dB above the
+    /// floor.
+    static_noise_a_db: f64,
+    static_noise_b_db: f64,
+}
+
+/// Minimum effective stub length: even an appliance "at" an outlet sits
+/// behind a couple of metres of in-wall wiring.
+const MIN_STUB_M: f64 = 1.5;
+/// Assumed stub length of an unmodelled bare branch.
+const BARE_BRANCH_STUB_M: f64 = 5.0;
+/// Signal propagation speed in mains cable, m/s.
+const PROPAGATION_M_PER_S: f64 = 1.5e8;
+/// Deepest multipath null allowed, dB (receivers clip below this anyway).
+const MAX_NULL_DB: f64 = -25.0;
+
+/// Reflection magnitude seen by a wave passing a junction loaded with
+/// impedance `z_load` in parallel with the continuing line:
+/// `|Γ| = Z₀ / (Z₀ + 2 z_load)` (0 for an unloaded line, →1 for a short).
+fn tap_reflection(z_load: f64, z0: f64) -> f64 {
+    z0 / (z0 + 2.0 * z_load.max(1e-3))
+}
+
+/// Power loss (dB) for the wave continuing past a tap with reflection
+/// magnitude `gamma`: voltage transmission `1 − |Γ|`.
+fn tap_transit_db(gamma: f64) -> f64 {
+    -20.0 * (1.0 - gamma).max(1e-3).log10()
+}
+
+impl PlcChannel {
+    /// Build the channel between outlets `a` and `b` of `grid`. Returns
+    /// `None` when the outlets are not electrically connected.
+    ///
+    /// `link_seed` individualizes the link's static clutter and dynamic
+    /// noise streams; derive it from the station pair so every link is
+    /// distinct but reproducible.
+    pub fn from_grid(
+        grid: &Grid,
+        a: NodeId,
+        b: NodeId,
+        technology: PlcTechnology,
+        params: PlcChannelParams,
+        link_seed: u64,
+    ) -> Option<PlcChannel> {
+        let path = grid.shortest_path(a, b)?;
+        let boards_crossed = path
+            .nodes
+            .iter()
+            .filter(|n| grid.node(**n).kind == NodeKind::Board)
+            .count();
+        let discs = grid.discontinuities(&path, 30.0);
+        let taps = discs
+            .iter()
+            .filter(|d| d.node != a && d.node != b)
+            .map(|d| {
+                let loads = d
+                    .appliances
+                    .iter()
+                    .map(|&(id, extra_m)| {
+                        let app = grid.appliance(id);
+                        TapLoad {
+                            profile: app.profile(),
+                            schedule: app.schedule,
+                            stub_m: extra_m.max(MIN_STUB_M),
+                        }
+                    })
+                    .collect::<Vec<_>>();
+                let bare = d.off_path_branches.saturating_sub(loads.len().min(1));
+                Tap {
+                    dist_from_a_m: d.dist_from_a_m,
+                    loads,
+                    bare_branches: bare,
+                }
+            })
+            .collect();
+        let locals = |node: NodeId, tag: u64| -> Vec<LocalAppliance> {
+            grid.appliances_within(node, params.appliance_noise_range_m)
+                .into_iter()
+                .map(|(id, dist_m)| {
+                    let app = grid.appliance(id);
+                    LocalAppliance {
+                        profile: app.profile(),
+                        schedule: app.schedule,
+                        dist_m,
+                        seed: link_seed
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(id.0 as u64)
+                            ^ tag,
+                    }
+                })
+                .collect()
+        };
+        // Heavily skewed static noise draw per endpoint.
+        let static_draw = |tag: u64| -> f64 {
+            let u = (ValueNoise::new(link_seed ^ tag).eval(0.5) + 1.0) / 2.0;
+            params.static_noise_max_db * u.powi(4)
+        };
+        Some(PlcChannel {
+            plan: technology.carrier_plan(),
+            params,
+            length_m: path.length_m,
+            boards_crossed,
+            taps,
+            local_a: locals(a, 0x0A),
+            local_b: locals(b, 0x0B),
+            clutter: ValueNoise::new(link_seed ^ 0xC1u64),
+            cycle_ab: ValueNoise::new(link_seed ^ 0xAB),
+            cycle_ba: ValueNoise::new(link_seed ^ 0xBA),
+            static_noise_a_db: static_draw(0x57A7_000A),
+            static_noise_b_db: static_draw(0x57A7_000B),
+        })
+    }
+
+    /// The carrier plan in use.
+    pub fn plan(&self) -> &CarrierPlan {
+        &self.plan
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &PlcChannelParams {
+        &self.params
+    }
+
+    /// Cable distance between the endpoints, metres.
+    pub fn cable_distance_m(&self) -> f64 {
+        self.length_m
+    }
+
+    /// Number of distribution boards on the path.
+    pub fn boards_crossed(&self) -> usize {
+        self.boards_crossed
+    }
+
+    /// Number of modelled reflection points.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Coupling loss (dB) caused by low-impedance appliances near an
+    /// endpoint's outlet at instant `t`.
+    fn coupling_loss_db(&self, locals: &[LocalAppliance], t: Time) -> f64 {
+        let mut shunt_admittance = 0.0;
+        for l in locals {
+            if l.dist_m > self.params.coupling_range_m {
+                continue;
+            }
+            let z = if l.schedule.is_on(t) {
+                l.profile.impedance_on_ohms
+            } else {
+                l.profile.impedance_off_ohms
+            } + l.dist_m * self.params.stub_ohms_per_m;
+            // Distance-weighted admittance of the shunt.
+            shunt_admittance += (-l.dist_m / 4.0).exp() / z;
+        }
+        // Loss of a shunt with impedance 1/Y across a Z₀ line.
+        let y = shunt_admittance;
+        10.0 * (1.0 + CABLE_Z0_OHMS * y / 2.0).log10() * 2.0
+    }
+
+    /// Ambient noise (dB above the floor, power-summed) at the receiver
+    /// described by `locals`, at instant `t` and mains phase `phase`
+    /// (fraction of the half cycle in `[0,1)`). `static_db` is the
+    /// endpoint's unmodelled persistent noise.
+    fn appliance_noise_db(
+        &self,
+        locals: &[LocalAppliance],
+        t: Time,
+        phase: f64,
+        static_db: f64,
+    ) -> f64 {
+        // Persistent unmodelled sources, then scheduled appliances.
+        let mut power = (10f64.powf(static_db / 10.0) - 1.0).max(0.0);
+        let t_s = t.as_secs_f64();
+        for l in locals {
+            if !l.schedule.is_on(t) {
+                continue;
+            }
+            let reach = (-l.dist_m / self.params.appliance_noise_range_m).exp();
+            let mut level_db = l.profile.noise_db;
+            // Mains-synchronous bump.
+            let mut d = (phase - l.profile.sync_phase).abs();
+            if d > 0.5 {
+                d = 1.0 - d;
+            }
+            let bump = (-(d / self.params.sync_bump_width).powi(2)).exp();
+            level_db += l.profile.sync_noise_db * bump;
+            // Impulsive events.
+            if l.profile.impulse_rate_hz > 0.0
+                && impulse_at(
+                    l.seed,
+                    t_s,
+                    l.profile.impulse_rate_hz,
+                    self.params.impulse_dur_s,
+                )
+            {
+                level_db += self.params.impulse_boost_db;
+            }
+            // `level_db` is how far the appliance raises the noise above
+            // the floor *at its own outlet*; its excess power (relative to
+            // the floor) decays with cable distance.
+            power += reach * (10f64.powf(level_db / 10.0) - 1.0);
+        }
+        if power <= 0.0 {
+            0.0
+        } else {
+            // Power sum of floor (1.0) and appliance contributions.
+            10.0 * (1.0 + power).log10()
+        }
+    }
+
+    /// Per-carrier SNR for one direction at instant `t`, with the
+    /// mains-synchronous noise evaluated at the *actual* phase of `t`.
+    pub fn spectrum(&self, dir: LinkDir, t: Time) -> SnrSpectrum {
+        self.spectrum_at_phase(dir, t, t.half_cycle_phase())
+    }
+
+    /// Per-carrier SNR for one direction at instant `t`, with the
+    /// mains-synchronous noise evaluated at an explicit `phase` of the
+    /// half mains cycle. Use this to characterize tone-map slots without
+    /// waiting for the right instant.
+    pub fn spectrum_at_phase(&self, dir: LinkDir, t: Time, phase: f64) -> SnrSpectrum {
+        let p = &self.params;
+        let (src_local, dst_local, cycle, dst_static_db) = match dir {
+            LinkDir::AtoB => (
+                &self.local_a,
+                &self.local_b,
+                &self.cycle_ab,
+                self.static_noise_b_db,
+            ),
+            LinkDir::BtoA => (
+                &self.local_b,
+                &self.local_a,
+                &self.cycle_ba,
+                self.static_noise_a_db,
+            ),
+        };
+        // --- Direction-independent tap states at time t.
+        struct EchoState {
+            gamma: f64,
+            extra_len_m: f64,
+        }
+        let mut transit_db_total = 0.0;
+        let mut echoes: Vec<EchoState> = Vec::new();
+        for tap in &self.taps {
+            // Combine loads in parallel (admittances add).
+            let mut y = 0.0f64;
+            for load in &tap.loads {
+                let z = if load.schedule.is_on(t) {
+                    load.profile.impedance_on_ohms
+                } else {
+                    load.profile.impedance_off_ohms
+                } + load.stub_m * p.stub_ohms_per_m;
+                y += 1.0 / z;
+                let z_alone = z;
+                let gamma_alone = tap_reflection(z_alone, CABLE_Z0_OHMS);
+                echoes.push(EchoState {
+                    gamma: gamma_alone,
+                    extra_len_m: 2.0 * load.stub_m,
+                });
+            }
+            for _ in 0..tap.bare_branches {
+                y += 1.0 / (CABLE_Z0_OHMS + BARE_BRANCH_STUB_M * p.stub_ohms_per_m);
+                echoes.push(EchoState {
+                    gamma: tap_reflection(CABLE_Z0_OHMS, CABLE_Z0_OHMS),
+                    extra_len_m: 2.0 * BARE_BRANCH_STUB_M,
+                });
+            }
+            if y > 0.0 {
+                let gamma_tap = tap_reflection(1.0 / y, CABLE_Z0_OHMS);
+                transit_db_total += p.tap_transit_scale * tap_transit_db(gamma_tap);
+            }
+        }
+        // --- Direction-dependent coupling losses.
+        let coupling_db = p.injection_weight * self.coupling_loss_db(src_local, t)
+            + p.extraction_weight * self.coupling_loss_db(dst_local, t);
+        // --- Receiver noise, frequency-independent parts.
+        let ambient_db = self.appliance_noise_db(dst_local, t, phase, dst_static_db);
+        let sigma = p.cycle_sigma_base_db + p.cycle_sigma_per_noise_db * ambient_db;
+        let cycle_db = cycle.fbm(t.as_secs_f64() / p.cycle_corr_s, 2) * 2.0 * sigma;
+        let board_db = self.boards_crossed as f64 * p.board_transit_db;
+
+        let n = self.plan.len();
+        let mut snr_db = Vec::with_capacity(n);
+        // Clutter grows with route length: short in-room links see almost
+        // none (the paper: <30 m guarantees good links), long routes
+        // accumulate unmodelled wiring structure (30-100 m can be good or
+        // bad, Fig. 7).
+        let clutter_scale = (self.length_m / 25.0).powf(0.7).min(1.3);
+        for i in 0..n {
+            let f_mhz = self.plan.freq_mhz(i);
+            let cable_db = p.cable_alpha * f_mhz.sqrt() * self.length_m;
+            // Static frequency-selective clutter, per link.
+            let clutter_db =
+                p.clutter_db * (1.0 + self.clutter.fbm(f_mhz / 2.0, 2)) * clutter_scale;
+            // Multipath interference relative to the direct ray.
+            let mut re = 1.0f64;
+            let mut im = 0.0f64;
+            for e in &echoes {
+                let extra_cable_db = p.cable_alpha * f_mhz.sqrt() * e.extra_len_m;
+                let amp = p.echo_gain * e.gamma * 10f64.powf(-extra_cable_db / 20.0);
+                let tau_s = e.extra_len_m / PROPAGATION_M_PER_S;
+                let theta = 2.0 * std::f64::consts::PI * f_mhz * 1e6 * tau_s;
+                re -= amp * theta.cos(); // reflection inverts polarity (Γ<0 for shunts)
+                im += amp * theta.sin();
+            }
+            let mp_db = (20.0 * (re * re + im * im).sqrt().max(1e-9).log10()).max(MAX_NULL_DB);
+            let atten_db = cable_db + transit_db_total + board_db + clutter_db + coupling_db - mp_db;
+            // Noise PSD at the receiver for this carrier.
+            let floor_db = p.noise_floor_dbm_hz
+                + p.noise_lowfreq_db * (-f_mhz / p.noise_knee_mhz).exp()
+                + ambient_db
+                + cycle_db;
+            snr_db.push(p.tx_psd_dbm_hz - atten_db - floor_db);
+        }
+        SnrSpectrum { snr_db }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::appliance::ApplianceKind;
+    use simnet::grid::Grid;
+
+    /// A straight run: A -- 20 m -- J -- 20 m -- B, with optional loads
+    /// at J's side branch.
+    fn straight_link(with_heater: bool, near: char) -> (Grid, NodeId, NodeId) {
+        let mut g = Grid::new();
+        let a = g.add_outlet("A");
+        let j = g.add_junction("J");
+        let b = g.add_outlet("B");
+        g.connect(a, j, 20.0);
+        g.connect(j, b, 20.0);
+        if with_heater {
+            let o = g.add_outlet("H");
+            match near {
+                'a' => g.connect(a, o, 2.0),
+                'b' => g.connect(b, o, 2.0),
+                _ => g.connect(j, o, 3.0),
+            }
+            g.attach(o, ApplianceKind::SpaceHeater, Schedule::AlwaysOn);
+        }
+        (g, a, b)
+    }
+
+    fn chan(g: &Grid, a: NodeId, b: NodeId) -> PlcChannel {
+        PlcChannel::from_grid(
+            g,
+            a,
+            b,
+            PlcTechnology::HpAv,
+            PlcChannelParams::default(),
+            1234,
+        )
+        .expect("connected")
+    }
+
+    #[test]
+    fn disconnected_outlets_have_no_channel() {
+        let mut g = Grid::new();
+        let a = g.add_outlet("a");
+        let b = g.add_outlet("b");
+        assert!(PlcChannel::from_grid(
+            &g,
+            a,
+            b,
+            PlcTechnology::HpAv,
+            PlcChannelParams::default(),
+            1
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn clean_short_link_has_high_snr() {
+        let (g, a, b) = straight_link(false, ' ');
+        let c = chan(&g, a, b);
+        let spec = c.spectrum(LinkDir::AtoB, Time::from_secs(1));
+        assert_eq!(spec.snr_db.len(), 917);
+        // With the calibrated static noise/clutter terms a clean 40 m run
+        // still supports the top modulations on most carriers.
+        assert!(spec.mean_db() > 30.0, "mean snr={}", spec.mean_db());
+    }
+
+    #[test]
+    fn bare_cable_distance_costs_little() {
+        // The paper: up to 70 m of bare cable costs at most ~2 Mb/s.
+        let mut g = Grid::new();
+        let a = g.add_outlet("a");
+        let b = g.add_outlet("b");
+        g.connect(a, b, 70.0);
+        let c = chan(&g, a, b);
+        let spec = c.spectrum(LinkDir::AtoB, Time::from_secs(1));
+        assert!(spec.mean_db() > 30.0, "mean snr={}", spec.mean_db());
+    }
+
+    #[test]
+    fn heater_on_path_degrades_link() {
+        let (g0, a0, b0) = straight_link(false, ' ');
+        let (g1, a1, b1) = straight_link(true, 'j');
+        let clean = chan(&g0, a0, b0)
+            .spectrum(LinkDir::AtoB, Time::from_secs(1))
+            .mean_db();
+        let loaded = chan(&g1, a1, b1)
+            .spectrum(LinkDir::AtoB, Time::from_secs(1))
+            .mean_db();
+        assert!(
+            loaded < clean - 1.0,
+            "loaded={loaded} clean={clean}: tap must attenuate"
+        );
+    }
+
+    #[test]
+    fn heater_near_one_endpoint_creates_asymmetry() {
+        let (g, a, b) = straight_link(true, 'a');
+        let c = chan(&g, a, b);
+        let t = Time::from_secs(5);
+        let ab = c.spectrum(LinkDir::AtoB, t).mean_db();
+        let ba = c.spectrum(LinkDir::BtoA, t).mean_db();
+        // Heater shunts A's outlet: injection from A suffers most.
+        assert!(
+            ab < ba - 1.0,
+            "ab={ab} ba={ba}: expected A→B to be the weaker direction"
+        );
+    }
+
+    #[test]
+    fn boards_add_attenuation() {
+        let mut g = Grid::new();
+        let a = g.add_outlet("a");
+        let board = g.add_board("B1");
+        let b = g.add_outlet("b");
+        g.connect(a, board, 20.0);
+        g.connect(board, b, 20.0);
+        let with_board = chan(&g, a, b)
+            .spectrum(LinkDir::AtoB, Time::from_secs(1))
+            .mean_db();
+        let (g2, a2, b2) = straight_link(false, ' ');
+        let no_board = chan(&g2, a2, b2)
+            .spectrum(LinkDir::AtoB, Time::from_secs(1))
+            .mean_db();
+        assert!(
+            with_board < no_board - 10.0,
+            "board={with_board} junction={no_board}"
+        );
+    }
+
+    #[test]
+    fn noisy_appliance_near_receiver_lowers_snr_by_direction() {
+        // Microwave near B: A→B (receiver at B) suffers more noise than
+        // B→A when the microwave runs.
+        let mut g = Grid::new();
+        let a = g.add_outlet("A");
+        let j = g.add_junction("J");
+        let b = g.add_outlet("B");
+        g.connect(a, j, 25.0);
+        g.connect(j, b, 25.0);
+        let o = g.add_outlet("M");
+        g.connect(b, o, 2.0);
+        g.attach(o, ApplianceKind::Microwave, Schedule::AlwaysOn);
+        let c = chan(&g, a, b);
+        let t = Time::from_secs(3);
+        let ab = c.spectrum(LinkDir::AtoB, t).mean_db();
+        let ba = c.spectrum(LinkDir::BtoA, t).mean_db();
+        assert!(ab < ba, "ab={ab} ba={ba}");
+    }
+
+    #[test]
+    fn sync_noise_varies_with_mains_phase() {
+        // Lighting has a strong synchronous component near phase 0.05.
+        let mut g = Grid::new();
+        let a = g.add_outlet("A");
+        let b = g.add_outlet("B");
+        g.connect(a, b, 30.0);
+        let o = g.add_outlet("L");
+        g.connect(b, o, 2.0);
+        g.attach(o, ApplianceKind::Lighting, Schedule::AlwaysOn);
+        let c = chan(&g, a, b);
+        let t = Time::from_hours(12); // lights on (weekday noon)
+        let at_peak = c.spectrum_at_phase(LinkDir::AtoB, t, 0.05).mean_db();
+        let off_peak = c.spectrum_at_phase(LinkDir::AtoB, t, 0.55).mean_db();
+        assert!(
+            at_peak < off_peak - 1.0,
+            "peak={at_peak} off={off_peak}: synchronous noise must bite"
+        );
+    }
+
+    #[test]
+    fn appliance_switching_shifts_the_channel() {
+        // Random-scale variation: lighting near B switches off at night.
+        let mut g = Grid::new();
+        let a = g.add_outlet("A");
+        let b = g.add_outlet("B");
+        g.connect(a, b, 30.0);
+        let o = g.add_outlet("L");
+        g.connect(b, o, 2.0);
+        g.attach(o, ApplianceKind::Lighting, Schedule::BuildingLights);
+        let c = chan(&g, a, b);
+        let day = c
+            .spectrum_at_phase(LinkDir::AtoB, Time::from_hours(12), 0.05)
+            .mean_db();
+        let night = c
+            .spectrum_at_phase(LinkDir::AtoB, Time::from_hours(23), 0.05)
+            .mean_db();
+        assert!(night > day + 0.5, "day={day} night={night}");
+    }
+
+    #[test]
+    fn spectrum_is_deterministic() {
+        let (g, a, b) = straight_link(true, 'j');
+        let c = chan(&g, a, b);
+        let t = Time::from_millis(12_345);
+        assert_eq!(c.spectrum(LinkDir::AtoB, t), c.spectrum(LinkDir::AtoB, t));
+    }
+
+    #[test]
+    fn different_link_seeds_differ() {
+        let (g, a, b) = straight_link(false, ' ');
+        let c1 = PlcChannel::from_grid(
+            &g,
+            a,
+            b,
+            PlcTechnology::HpAv,
+            PlcChannelParams::default(),
+            1,
+        )
+        .unwrap();
+        let c2 = PlcChannel::from_grid(
+            &g,
+            a,
+            b,
+            PlcTechnology::HpAv,
+            PlcChannelParams::default(),
+            2,
+        )
+        .unwrap();
+        let t = Time::from_secs(1);
+        let s1 = c1.spectrum(LinkDir::AtoB, t);
+        let s2 = c2.spectrum(LinkDir::AtoB, t);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn av500_has_more_carriers() {
+        let (g, a, b) = straight_link(false, ' ');
+        let c = PlcChannel::from_grid(
+            &g,
+            a,
+            b,
+            PlcTechnology::HpAv500,
+            PlcChannelParams::default(),
+            7,
+        )
+        .unwrap();
+        let spec = c.spectrum(LinkDir::AtoB, Time::from_secs(1));
+        assert!(spec.snr_db.len() > 2000);
+    }
+
+    #[test]
+    fn tap_reflection_limits() {
+        assert!(tap_reflection(1e9, CABLE_Z0_OHMS) < 1e-6);
+        assert!(tap_reflection(1e-6, CABLE_Z0_OHMS) > 0.999);
+        let mid = tap_reflection(CABLE_Z0_OHMS, CABLE_Z0_OHMS);
+        assert!((mid - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tap_transit_loss_is_positive_and_monotone() {
+        assert!(tap_transit_db(0.0) < 1e-9);
+        assert!(tap_transit_db(0.3) > 0.0);
+        assert!(tap_transit_db(0.6) > tap_transit_db(0.3));
+    }
+}

@@ -1,0 +1,652 @@
+//! The channel-estimation algorithm.
+//!
+//! IEEE 1901 leaves channel estimation vendor-specific (paper §2.2); this
+//! module implements a realistic estimator exhibiting every behaviour the
+//! paper measures:
+//!
+//! * **bootstrap from sound frames** in ROBO mode (§2.1);
+//! * **convergence over samples** — per-carrier SNR estimates sharpen as
+//!   frames (more precisely, OFDM symbols) are observed; while confidence
+//!   is low the estimator keeps an extra safety margin, so the estimated
+//!   capacity converges to the true value *from below*, faster at higher
+//!   probing rates (Fig. 16);
+//! * **statistics persistence** — pausing probing does not decay the
+//!   estimate; it resumes where it stopped (Fig. 17);
+//! * **tone-map refresh** on PB-error threshold or 30 s expiry (§2.1),
+//!   which produces the quality-dependent update inter-arrival α of
+//!   Fig. 11;
+//! * **the sub-PB probe pathology** (§7.2): when every observed frame
+//!   fits in a single OFDM symbol, raising the per-symbol bit loading
+//!   cannot shorten the frame but does raise the error rate, so the
+//!   algorithm converges to exactly one PB per symbol — capping the
+//!   estimate at `R1sym = 520·8/Tsym ≈ 89.4 Mb/s` and staying there;
+//! * optionally, the **AV500 vendor quirk** seen in Fig. 10: a burst of
+//!   errors makes the estimator return a very low BLE until the next
+//!   regeneration.
+
+use crate::carrier::PlcTechnology;
+use crate::modulation::{FecRate, Modulation};
+use crate::tonemap::{ToneMap, ToneMapSet, TONEMAP_SLOTS};
+use crate::SnrSpectrum;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simnet::rng::Distributions;
+use simnet::time::{Duration, Time};
+
+/// Bits of one physical block (512 B payload + 8 B header).
+pub const PB_BITS: u64 = 520 * 8;
+
+/// The rate ceiling of a PLC profile: which modulations, code rate and
+/// repetition the tone maps may use. HPAV data frames run up to 1024-QAM
+/// at rate 16/21; GreenPHY is restricted to its high-speed ROBO mode
+/// (QPSK, rate 1/2, 2× repetition ≈ 10 Mb/s — paper footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateProfile {
+    /// Most aggressive per-carrier modulation.
+    pub max_modulation: Modulation,
+    /// FEC code rate of data tone maps.
+    pub fec: FecRate,
+    /// Repetition factor (1 = none).
+    pub repetition: u32,
+}
+
+impl RateProfile {
+    /// HomePlug AV / AV500 data profile.
+    pub fn hpav() -> Self {
+        RateProfile {
+            max_modulation: Modulation::Qam1024,
+            fec: FecRate::SixteenTwentyFirsts,
+            repetition: 1,
+        }
+    }
+
+    /// HomePlug GreenPHY (HS-ROBO).
+    pub fn greenphy() -> Self {
+        RateProfile {
+            max_modulation: Modulation::Qpsk,
+            fec: FecRate::Half,
+            repetition: 2,
+        }
+    }
+
+    /// The profile matching a PLC technology.
+    pub fn for_technology(tech: PlcTechnology) -> Self {
+        match tech {
+            PlcTechnology::HpAv | PlcTechnology::HpAv500 => Self::hpav(),
+            PlcTechnology::GreenPhy => Self::greenphy(),
+        }
+    }
+}
+
+/// Configuration of the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Base SNR margin (dB) subtracted before selecting modulations.
+    pub margin_db: f64,
+    /// The PB error rate tone maps are designed for (enters the BLE via
+    /// Eq. 1).
+    pub target_pberr: f64,
+    /// Measured PBerr above which the tone map is regenerated early.
+    pub pberr_threshold: f64,
+    /// Tone-map lifetime before forced regeneration.
+    pub expiry: Duration,
+    /// Std (dB) of a single-symbol SNR measurement.
+    pub meas_noise_db: f64,
+    /// Extra conservative margin (dB) at zero confidence; decays as
+    /// samples accumulate.
+    pub bootstrap_margin_db: f64,
+    /// Sample weight at which the bootstrap margin has halved.
+    pub confidence_halflife: f64,
+    /// Sliding-window cap on tracking weight (how fast old channel state
+    /// is forgotten).
+    pub tracking_cap: f64,
+    /// Enable the AV500-style "very low BLE after bursty errors" quirk.
+    pub av500_quirk: bool,
+    /// Rate ceiling of the device profile (HPAV vs GreenPHY).
+    pub profile: RateProfile,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            margin_db: 2.0,
+            target_pberr: 0.02,
+            pberr_threshold: 0.08,
+            expiry: Duration::from_secs(30),
+            meas_noise_db: 5.0,
+            bootstrap_margin_db: 9.0,
+            confidence_halflife: 450.0,
+            tracking_cap: 240.0,
+            av500_quirk: false,
+            profile: RateProfile::hpav(),
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// An Intellon/INT6300-flavoured configuration (the paper's main
+    /// testbed): the defaults.
+    pub fn vendor_intellon() -> Self {
+        EstimatorConfig::default()
+    }
+
+    /// A QCA7400/AV500-flavoured configuration (the paper's validation
+    /// devices): more aggressive margins, but the Fig. 10 quirk — bursty
+    /// errors collapse the next tone map.
+    pub fn vendor_qca() -> Self {
+        EstimatorConfig {
+            margin_db: 1.5,
+            pberr_threshold: 0.06,
+            av500_quirk: true,
+            ..EstimatorConfig::default()
+        }
+    }
+
+    /// A conservative third vendor: bigger margins and slower bootstrap,
+    /// trading capacity for stability. Used by the vendor-comparison
+    /// bench (the paper's §6.2 future work: "comparing link-metric
+    /// estimations for different vendors and technologies").
+    pub fn vendor_conservative() -> Self {
+        EstimatorConfig {
+            margin_db: 4.0,
+            bootstrap_margin_db: 12.0,
+            confidence_halflife: 900.0,
+            pberr_threshold: 0.15,
+            ..EstimatorConfig::default()
+        }
+    }
+}
+
+/// Per-link-direction channel estimator, owned by the *destination*
+/// station, which measures sound/data frames and returns tone maps to the
+/// source (paper §2.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelEstimator {
+    cfg: EstimatorConfig,
+    n_carriers: usize,
+    /// Per-slot, per-carrier SNR estimates (dB).
+    snr_est: Vec<Vec<f64>>,
+    /// Per-slot tracking weight (bounded by `tracking_cap`).
+    weight: Vec<f64>,
+    /// Total accumulated sample weight since the last reset; drives the
+    /// bootstrap-margin decay and never shrinks while probing pauses.
+    total_weight: f64,
+    /// Largest frame payload (in PBs) observed since reset — the trigger
+    /// of the sub-PB probe pathology (§7.2): while every frame carries a
+    /// single PB, loading more than one PB per symbol cannot shorten any
+    /// frame, so the algorithm refuses to exceed one PB per symbol.
+    max_pbs_seen: u32,
+    tonemaps: ToneMapSet,
+    last_regen: Option<Time>,
+    next_id: u32,
+}
+
+impl ChannelEstimator {
+    /// Fresh estimator: everything at the ROBO default.
+    pub fn new(cfg: EstimatorConfig, n_carriers: usize) -> Self {
+        ChannelEstimator {
+            cfg,
+            n_carriers,
+            snr_est: vec![vec![0.0; n_carriers]; TONEMAP_SLOTS],
+            weight: vec![0.0; TONEMAP_SLOTS],
+            total_weight: 0.0,
+            max_pbs_seen: 0,
+            tonemaps: ToneMapSet::all_robo(n_carriers),
+            last_regen: None,
+            next_id: 1,
+        }
+    }
+
+    /// Factory reset (the paper resets devices before the Fig. 16/18
+    /// convergence experiments).
+    pub fn reset(&mut self) {
+        *self = ChannelEstimator::new(self.cfg, self.n_carriers);
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.cfg
+    }
+
+    /// Current tone maps.
+    pub fn tonemaps(&self) -> &ToneMapSet {
+        &self.tonemaps
+    }
+
+    /// Average BLE over all slots — what the `int6krate` management
+    /// message reports (paper Table 2).
+    pub fn ble_avg(&self) -> f64 {
+        self.tonemaps.ble_avg()
+    }
+
+    /// BLE of one slot (the `BLEs` carried in the SoF of frames sent in
+    /// that slot).
+    pub fn ble_slot(&self, slot: usize) -> f64 {
+        self.tonemaps.ble_slot(slot)
+    }
+
+    /// Accumulated sample weight (diagnostic).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Ingest one received frame (data or sound): the destination measures
+    /// per-carrier SNR from it. `slot` is the tone-map slot the frame flew
+    /// in, `true_spectrum` the channel's actual per-carrier SNR at that
+    /// moment, `n_symbols` the frame length in OFDM symbols — longer
+    /// frames provide more measurement samples ("it needs many samples
+    /// from many PBs to estimate the error for every frequency", §7.1) —
+    /// and `n_pbs` the number of physical blocks the frame carried.
+    pub fn observe<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        slot: usize,
+        true_spectrum: &SnrSpectrum,
+        n_symbols: u64,
+        n_pbs: u32,
+    ) {
+        debug_assert_eq!(true_spectrum.snr_db.len(), self.n_carriers);
+        let slot = slot % TONEMAP_SLOTS;
+        let w = (n_symbols.clamp(1, 64) as f64).sqrt();
+        let sigma = self.cfg.meas_noise_db / w;
+        // Primary update of the observed slot; weak cross-slot update of
+        // the others (the standard derives maps for all slots from any
+        // traffic, paper §7.1). Cross-slot updates stop once a slot has
+        // built up its own history — they only serve the bootstrap.
+        for s in 0..TONEMAP_SLOTS {
+            if s != slot && self.weight[s] >= 0.3 * self.cfg.tracking_cap {
+                continue;
+            }
+            let (uw, us) = if s == slot { (w, sigma) } else { (0.25 * w, sigma * 2.0) };
+            let total = self.weight[s] + uw;
+            for (est, &truth) in self.snr_est[s].iter_mut().zip(&true_spectrum.snr_db) {
+                let meas = truth + Distributions::normal(rng, 0.0, us);
+                *est = (*est * self.weight[s] + meas * uw) / total;
+            }
+            self.weight[s] = total.min(self.cfg.tracking_cap);
+        }
+        self.total_weight += w;
+        self.max_pbs_seen = self.max_pbs_seen.max(n_pbs);
+    }
+
+    /// Effective margin: base margin plus the bootstrap margin scaled down
+    /// as confidence accumulates.
+    fn effective_margin(&self) -> f64 {
+        let conf = self.total_weight / self.cfg.confidence_halflife;
+        self.cfg.margin_db + self.cfg.bootstrap_margin_db / (1.0 + conf)
+    }
+
+    /// Should the tone maps be regenerated now? Right after association
+    /// (or a reset) devices refine tone maps rapidly — the first few
+    /// regenerations use a tenth of the configured expiry, after which the
+    /// standard 30 s lifetime applies.
+    pub fn needs_regen(&self, now: Time, recent_pberr: f64) -> bool {
+        match self.last_regen {
+            None => self.total_weight > 0.0,
+            Some(t0) => {
+                let expiry = if self.next_id <= 4 {
+                    Duration(self.cfg.expiry.as_nanos() / 10)
+                } else {
+                    self.cfg.expiry
+                };
+                now.saturating_since(t0) >= expiry
+                    || recent_pberr > self.cfg.pberr_threshold
+            }
+        }
+    }
+
+    /// Regenerate the tone maps if a trigger fires (expiry or PB-error
+    /// threshold, paper §2.1). Returns `true` when new maps were produced.
+    /// `recent_pberr` is the PB error rate measured since the last
+    /// regeneration.
+    pub fn maybe_regenerate(&mut self, now: Time, recent_pberr: f64) -> bool {
+        if !self.needs_regen(now, recent_pberr) {
+            return false;
+        }
+        let error_triggered = self
+            .last_regen
+            .is_some_and(|_| recent_pberr > self.cfg.pberr_threshold);
+        self.regenerate(now, error_triggered);
+        true
+    }
+
+    /// Unconditionally regenerate the tone maps from the current SNR
+    /// estimates.
+    pub fn regenerate(&mut self, now: Time, error_triggered: bool) {
+        let mut margin = self.effective_margin();
+        if error_triggered {
+            // React to errors: step the margin up a little...
+            margin += 1.0;
+            // ...or, with the AV500 vendor quirk, collapse to a very
+            // conservative map (Fig. 10's deep oscillation); the next
+            // clean regeneration recovers.
+            if self.cfg.av500_quirk {
+                margin += 8.0;
+            }
+        }
+        let profile = self.cfg.profile;
+        for s in 0..TONEMAP_SLOTS {
+            let mut map = ToneMap::from_snr(
+                &self.snr_est[s],
+                margin,
+                profile.fec,
+                self.cfg.target_pberr,
+                self.next_id,
+            );
+            // Clamp to the profile's ceiling (GreenPHY never leaves QPSK).
+            for m in &mut map.carriers {
+                if *m > profile.max_modulation {
+                    *m = profile.max_modulation;
+                }
+            }
+            map.repetition = profile.repetition;
+            // Sub-PB pathology: if no observed frame ever carried more
+            // than one PB, there is no benefit in loading more than one PB
+            // per symbol — higher rates cannot shorten a one-symbol frame,
+            // they only add errors — so the algorithm settles at one PB
+            // per symbol (paper §7.2).
+            if self.max_pbs_seen <= 1 {
+                Self::cap_info_bits(&mut map, PB_BITS);
+            }
+            self.next_id = self.next_id.wrapping_add(1);
+            self.tonemaps.slots[s] = map;
+        }
+        self.last_regen = Some(now);
+    }
+
+    /// Downgrade carriers round-robin until the map's information bits per
+    /// symbol do not exceed `cap_bits`.
+    fn cap_info_bits(map: &mut ToneMap, cap_bits: u64) {
+        let ladder_down = |m: Modulation| -> Modulation {
+            let idx = Modulation::LADDER.iter().position(|x| *x == m).unwrap();
+            Modulation::LADDER[idx.saturating_sub(1)]
+        };
+        let mut guard = 0;
+        while map.info_bits_per_symbol() > cap_bits as f64 && guard < 20 * map.carriers.len() {
+            // Downgrade the highest-loaded carrier first.
+            if let Some((i, _)) = map
+                .carriers
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, m)| m.bits())
+            {
+                if map.carriers[i] == Modulation::Off {
+                    break;
+                }
+                map.carriers[i] = ladder_down(map.carriers[i]);
+            }
+            guard += 1;
+        }
+    }
+
+    /// Time of the last tone-map regeneration.
+    pub fn last_regen(&self) -> Option<Time> {
+        self.last_regen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::SYMBOL_US;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 200;
+
+    fn flat_spectrum(snr: f64) -> SnrSpectrum {
+        SnrSpectrum {
+            snr_db: vec![snr; N],
+        }
+    }
+
+    fn estimator() -> ChannelEstimator {
+        ChannelEstimator::new(EstimatorConfig::default(), N)
+    }
+
+    #[test]
+    fn starts_in_robo() {
+        let e = estimator();
+        let robo_ble = ToneMap::robo(N).ble();
+        assert!((e.ble_avg() - robo_ble).abs() < 1e-9);
+        assert_eq!(e.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn converges_upward_to_true_capacity() {
+        let mut e = estimator();
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = flat_spectrum(30.0);
+        let mut last_ble = 0.0;
+        let mut bles = Vec::new();
+        for step in 0..200 {
+            for _ in 0..10 {
+                e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 20, 8);
+            }
+            let t = Time::from_secs(step as u64 * 31);
+            e.maybe_regenerate(t, 0.0);
+            bles.push(e.ble_avg());
+            last_ble = e.ble_avg();
+        }
+        // Converged near the ideal map for SNR 30 with the base margin.
+        let ideal = ToneMap::from_snr(
+            &vec![30.0; N],
+            EstimatorConfig::default().margin_db,
+            FecRate::SixteenTwentyFirsts,
+            0.02,
+            0,
+        )
+        .ble();
+        assert!(
+            (last_ble - ideal).abs() / ideal < 0.1,
+            "last={last_ble} ideal={ideal}"
+        );
+        // Convergence from below: early estimates are lower.
+        assert!(bles[0] < last_ble * 0.9, "first={} last={last_ble}", bles[0]);
+    }
+
+    #[test]
+    fn more_observations_converge_faster() {
+        let run = |obs_per_step: usize| -> usize {
+            let mut e = estimator();
+            let mut rng = StdRng::seed_from_u64(3);
+            let spec = flat_spectrum(28.0);
+            let target = {
+                let m = ToneMap::from_snr(
+                    &vec![28.0; N],
+                    EstimatorConfig::default().margin_db,
+                    FecRate::SixteenTwentyFirsts,
+                    0.02,
+                    0,
+                );
+                m.ble() * 0.95
+            };
+            for step in 0..400 {
+                for _ in 0..obs_per_step {
+                    e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 3, 8);
+                }
+                e.regenerate(Time::from_secs(step as u64), false);
+                if e.ble_avg() >= target {
+                    return step;
+                }
+            }
+            400
+        };
+        let slow = run(1);
+        let fast = run(20);
+        assert!(fast < slow, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn statistics_persist_across_pauses() {
+        // Fig. 17: pausing probing must not reset the estimate.
+        let mut e = estimator();
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = flat_spectrum(26.0);
+        for step in 0..300 {
+            e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 10, 8);
+        }
+        e.regenerate(Time::from_secs(10), false);
+        let before_pause = e.ble_avg();
+        // 7 minutes of silence, then one more observation and regen.
+        let resume = Time::from_secs(10 + 420);
+        e.observe(&mut rng, 0, &spec, 10, 8);
+        e.regenerate(resume, false);
+        let after_pause = e.ble_avg();
+        assert!(
+            (after_pause - before_pause).abs() / before_pause < 0.05,
+            "before={before_pause} after={after_pause}"
+        );
+    }
+
+    #[test]
+    fn reset_returns_to_robo() {
+        let mut e = estimator();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            e.observe(&mut rng, 0, &flat_spectrum(30.0), 10, 8);
+        }
+        e.regenerate(Time::from_secs(1), false);
+        assert!(e.ble_avg() > 15.0);
+        e.reset();
+        assert!((e.ble_avg() - ToneMap::robo(N).ble()).abs() < 1e-9);
+        assert_eq!(e.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn sub_pb_frames_cap_the_estimate_at_r1sym() {
+        // Fig. 18: probing with packets smaller than one PB caps the
+        // capacity estimate at ~89.4 Mb/s on a channel that could do more.
+        let cfg = EstimatorConfig::default();
+        let mut e = ChannelEstimator::new(cfg, 917);
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SnrSpectrum {
+            snr_db: vec![40.0; 917],
+        };
+        for step in 0..3000 {
+            e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 1, 1); // 1-symbol frames
+        }
+        e.regenerate(Time::from_secs(100), false);
+        let r1sym = PB_BITS as f64 / SYMBOL_US;
+        let ble = e.ble_avg();
+        assert!(
+            ble <= r1sym * 1.01,
+            "ble={ble} must not exceed R1sym={r1sym}"
+        );
+        assert!(ble > r1sym * 0.80, "ble={ble} should sit near the cap");
+        // Larger frames lift the cap.
+        e.observe(&mut rng, 0, &spec, 4, 8);
+        e.regenerate(Time::from_secs(131), false);
+        assert!(e.ble_avg() > r1sym * 1.05, "cap should lift: {}", e.ble_avg());
+    }
+
+    #[test]
+    fn regen_triggers_expiry_and_pberr() {
+        let mut e = estimator();
+        let mut rng = StdRng::seed_from_u64(9);
+        e.observe(&mut rng, 0, &flat_spectrum(25.0), 10, 8);
+        // First regen: bootstrap.
+        assert!(e.maybe_regenerate(Time::from_secs(1), 0.0));
+        // No trigger: within expiry, low pberr.
+        assert!(!e.maybe_regenerate(Time::from_secs(2), 0.01));
+        // PB-error trigger.
+        assert!(e.maybe_regenerate(Time::from_secs(3), 0.5));
+        // Expiry trigger.
+        assert!(!e.maybe_regenerate(Time::from_secs(10), 0.0));
+        assert!(e.maybe_regenerate(Time::from_secs(3 + 31), 0.0));
+    }
+
+    #[test]
+    fn av500_quirk_dips_after_error_burst() {
+        let cfg = EstimatorConfig {
+            av500_quirk: true,
+            ..EstimatorConfig::default()
+        };
+        let mut e = ChannelEstimator::new(cfg, N);
+        let mut rng = StdRng::seed_from_u64(13);
+        let spec = flat_spectrum(30.0);
+        for step in 0..500 {
+            e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 20, 8);
+        }
+        e.regenerate(Time::from_secs(1), false);
+        let steady = e.ble_avg();
+        // Bursty errors trigger an error regen: the quirk collapses BLE.
+        assert!(e.maybe_regenerate(Time::from_secs(2), 0.6));
+        let dipped = e.ble_avg();
+        assert!(
+            dipped < steady * 0.8,
+            "steady={steady} dipped={dipped}: expected a deep dip"
+        );
+        // A clean regeneration recovers.
+        for step in 0..200 {
+            e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 20, 8);
+        }
+        e.regenerate(Time::from_secs(40), false);
+        assert!(e.ble_avg() > dipped, "should recover");
+    }
+
+    #[test]
+    fn vendor_presets_differ_meaningfully() {
+        let a = EstimatorConfig::vendor_intellon();
+        let b = EstimatorConfig::vendor_qca();
+        let c = EstimatorConfig::vendor_conservative();
+        assert!(b.margin_db < a.margin_db && a.margin_db < c.margin_db);
+        assert!(b.av500_quirk && !a.av500_quirk && !c.av500_quirk);
+        // On the same channel, the aggressive vendor advertises more BLE
+        // than the conservative one.
+        let mut rng = StdRng::seed_from_u64(8);
+        let spec = flat_spectrum(28.0);
+        let run = |cfg: EstimatorConfig, rng: &mut StdRng| {
+            let mut e = ChannelEstimator::new(cfg, N);
+            for step in 0..800 {
+                e.observe(rng, step % TONEMAP_SLOTS, &spec, 20, 8);
+            }
+            e.regenerate(Time::from_secs(60), false);
+            e.ble_avg()
+        };
+        let aggressive = run(b, &mut rng);
+        let conservative = run(c, &mut rng);
+        assert!(
+            aggressive > conservative,
+            "aggressive={aggressive} conservative={conservative}"
+        );
+    }
+
+    #[test]
+    fn greenphy_profile_caps_ble_at_hs_robo() {
+        let cfg = EstimatorConfig {
+            profile: RateProfile::greenphy(),
+            ..EstimatorConfig::default()
+        };
+        let mut e = ChannelEstimator::new(cfg, 917);
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = SnrSpectrum {
+            snr_db: vec![45.0; 917], // an excellent channel
+        };
+        for step in 0..600 {
+            e.observe(&mut rng, step % TONEMAP_SLOTS, &spec, 20, 8);
+        }
+        e.regenerate(Time::from_secs(40), false);
+        let ble = e.ble_avg();
+        // HS-ROBO: 917 carriers x 2 bits x 1/2 rate / 2 repetition.
+        assert!((8.0..11.0).contains(&ble), "greenphy ble={ble}");
+    }
+
+    #[test]
+    fn per_slot_estimates_differ_when_channel_does() {
+        let mut e = estimator();
+        let mut rng = StdRng::seed_from_u64(21);
+        // Slot 0 sees a much noisier channel than slot 3.
+        for _ in 0..600 {
+            e.observe(&mut rng, 0, &flat_spectrum(15.0), 10, 8);
+            e.observe(&mut rng, 3, &flat_spectrum(30.0), 10, 8);
+        }
+        e.regenerate(Time::from_secs(5), false);
+        assert!(
+            e.ble_slot(3) > e.ble_slot(0) * 1.2,
+            "slot3={} slot0={}",
+            e.ble_slot(3),
+            e.ble_slot(0)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # simnet — simulation substrate for the Electri-Fi reproduction
+//!
+//! This crate provides everything below the PHY layers of the reproduced
+//! system:
+//!
+//! * [`time`] — nanosecond-resolution simulation time with mains-cycle
+//!   helpers (the PLC PHY is locked to the AC line cycle).
+//! * [`event`] — a deterministic discrete-event queue.
+//! * [`rng`] — reproducible, independently-seeded random-number streams and
+//!   the distributions the channel models need (normal, lognormal,
+//!   exponential, Rayleigh), implemented locally so the only external
+//!   randomness dependency is the `rand` core.
+//! * [`grid`] — the electrical network: distribution boards, cables,
+//!   outlets, junctions, and the appliances plugged into them. PLC signals
+//!   propagate over this graph; cable distance and impedance mismatches are
+//!   derived from it.
+//! * [`appliance`] — a library of electrical appliances with impedance,
+//!   noise profiles (including mains-synchronous noise) and time-of-day
+//!   schedules.
+//! * [`geometry`] — 2-D floor geometry for the WiFi path-loss model.
+//! * [`traffic`] — traffic generators (saturated UDP, CBR probes, probe
+//!   bursts, file transfers) mirroring the paper's `iperf` workloads.
+//! * [`stats`] — running statistics, ECDFs, linear fits and correlations
+//!   used throughout the measurement analysis.
+//! * [`trace`] — time-series capture utilities for experiment outputs.
+//!
+//! The design follows the smoltcp idiom: synchronous, event-driven,
+//! allocation-conscious, with no async runtime — the whole system is a
+//! deterministic simulator.
+
+#![warn(missing_docs)]
+
+pub mod appliance;
+pub mod event;
+pub mod geometry;
+pub mod grid;
+pub mod noise;
+pub mod rng;
+pub mod schedule;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod traffic;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::{Distributions, RngPool};
+pub use time::{Duration, Time};

@@ -1,0 +1,265 @@
+//! Appliance schedules: when is each appliance switched on?
+//!
+//! Random-scale channel variation (paper §6.3) is driven by human activity:
+//! appliances switch with the working day, lights go off building-wide at
+//! 9 pm ("Every day at 9pm, all lights are turned off in our building,
+//! leading to a channel change for PLC", Fig. 12), and weekends are quiet
+//! (Figs. 13-14).
+//!
+//! Schedules are **pure functions of time** (plus a per-appliance seed for
+//! randomized schedules), so any component can query `is_on(t)` at any
+//! instant without shared mutable state, and long-horizon experiments can
+//! sample the channel at arbitrary times.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic per-slot hash used for randomized schedules: maps
+/// (seed, slot) to a uniform value in [0, 1).
+fn slot_hash(seed: u64, slot: u64) -> f64 {
+    let mut z = seed ^ slot.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// When an appliance is powered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Always on (IT equipment, fridges' plug connection).
+    AlwaysOn,
+    /// Building lighting: on 07:00–21:00 on weekdays, off all weekend.
+    /// The 21:00 cut is sharp — it produces the visible channel step in
+    /// the paper's Fig. 12.
+    BuildingLights,
+    /// Office-hours usage (PCs, monitors): on roughly 08:00–19:00 weekdays
+    /// with per-appliance randomized arrival/departure of ±1 h, off on
+    /// weekends except occasional visits.
+    OfficeHours {
+        /// Per-appliance seed randomizing arrival/departure.
+        seed: u64,
+    },
+    /// Duty-cycled appliance (fridge compressor): `on_s` seconds on,
+    /// `off_s` seconds off, phase-shifted by seed.
+    DutyCycle {
+        /// Seconds per ON period.
+        on_s: u64,
+        /// Seconds per OFF period.
+        off_s: u64,
+        /// Per-appliance seed shifting the cycle phase.
+        seed: u64,
+    },
+    /// Sporadic usage bursts (printer, microwave, coffee machine): during
+    /// active hours each 10-minute slot is on with probability `p_active`
+    /// (scaled by working-hours activity), off otherwise.
+    Sporadic {
+        /// Probability that a 10-minute slot during working hours is on.
+        p_active: f64,
+        /// Per-appliance seed.
+        seed: u64,
+    },
+}
+
+impl Schedule {
+    /// Is the appliance drawing power at instant `t`?
+    pub fn is_on(&self, t: Time) -> bool {
+        match *self {
+            Schedule::AlwaysOn => true,
+            Schedule::BuildingLights => {
+                let h = t.hour_of_day();
+                !t.is_weekend() && (7.0..21.0).contains(&h)
+            }
+            Schedule::OfficeHours { seed } => {
+                if t.is_weekend() {
+                    // Rare weekend visits: ~5% of weekend hours.
+                    let slot = t.as_secs() / 3600;
+                    return slot_hash(seed ^ 0xDEAD, slot) < 0.05;
+                }
+                let day = t.day_index();
+                let arrive = 8.0 + 2.0 * (slot_hash(seed, day) - 0.5); // 7..9
+                let leave = 18.5 + 2.0 * (slot_hash(seed ^ 1, day) - 0.5); // 17.5..19.5
+                let h = t.hour_of_day();
+                (arrive..leave).contains(&h)
+            }
+            Schedule::DutyCycle { on_s, off_s, seed } => {
+                let period = on_s + off_s;
+                debug_assert!(period > 0);
+                let phase = (slot_hash(seed, 0) * period as f64) as u64;
+                ((t.as_secs() + phase) % period) < on_s
+            }
+            Schedule::Sporadic { p_active, seed } => {
+                let slot = t.as_secs() / 600; // 10-minute slots
+                let p = p_active * working_activity(t);
+                slot_hash(seed, slot) < p
+            }
+        }
+    }
+
+    /// Fraction of a long window around `t` (one hour) this schedule is
+    /// expected to be on — a smooth "load level" for analytic models.
+    pub fn duty_at(&self, t: Time) -> f64 {
+        match *self {
+            Schedule::AlwaysOn => 1.0,
+            Schedule::BuildingLights => {
+                if self.is_on(t) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Schedule::OfficeHours { .. } => {
+                if t.is_weekend() {
+                    0.05
+                } else {
+                    let h = t.hour_of_day();
+                    if (9.0..18.0).contains(&h) {
+                        1.0
+                    } else if (7.0..9.0).contains(&h) {
+                        (h - 7.0) / 2.0
+                    } else if (18.0..19.5).contains(&h) {
+                        (19.5 - h) / 1.5
+                    } else {
+                        0.0
+                    }
+                }
+            }
+            Schedule::DutyCycle { on_s, off_s, .. } => on_s as f64 / (on_s + off_s) as f64,
+            Schedule::Sporadic { p_active, .. } => p_active * working_activity(t),
+        }
+    }
+}
+
+/// Building-wide human-activity level in `[0, 1]`: ~1 during weekday
+/// working hours, low at night, very low on weekends. Used to scale both
+/// sporadic appliance usage and ambient WiFi interference.
+pub fn working_activity(t: Time) -> f64 {
+    if t.is_weekend() {
+        return 0.08;
+    }
+    let h = t.hour_of_day();
+    if (9.0..12.0).contains(&h) || (13.0..17.5).contains(&h) {
+        1.0
+    } else if (12.0..13.0).contains(&h) {
+        0.7 // lunch dip
+    } else if (7.0..9.0).contains(&h) {
+        (h - 7.0) / 2.0
+    } else if (17.5..21.0).contains(&h) {
+        (21.0 - h) / 3.5 * 0.8
+    } else {
+        0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(day: u64, hour: f64) -> Time {
+        Time((day * 24 * 3_600_000_000_000) + (hour * 3_600_000_000_000.0) as u64)
+    }
+
+    #[test]
+    fn always_on_is_always_on() {
+        assert!(Schedule::AlwaysOn.is_on(Time::ZERO));
+        assert!(Schedule::AlwaysOn.is_on(at(6, 3.0)));
+        assert_eq!(Schedule::AlwaysOn.duty_at(Time::ZERO), 1.0);
+    }
+
+    #[test]
+    fn lights_cut_at_9pm_weekdays() {
+        let lights = Schedule::BuildingLights;
+        assert!(lights.is_on(at(0, 12.0)));
+        assert!(lights.is_on(at(0, 20.9)));
+        assert!(!lights.is_on(at(0, 21.01)));
+        assert!(!lights.is_on(at(0, 3.0)));
+        // Weekend: off even at noon (day 5 = Saturday).
+        assert!(!lights.is_on(at(5, 12.0)));
+    }
+
+    #[test]
+    fn office_hours_bracket_the_working_day() {
+        let s = Schedule::OfficeHours { seed: 99 };
+        // Midday weekday is always within any arrival/departure jitter.
+        assert!(s.is_on(at(1, 12.0)));
+        // 4 am never is.
+        assert!(!s.is_on(at(1, 4.0)));
+        // Determinism.
+        assert_eq!(s.is_on(at(2, 8.2)), s.is_on(at(2, 8.2)));
+    }
+
+    #[test]
+    fn duty_cycle_fraction_matches() {
+        let s = Schedule::DutyCycle {
+            on_s: 600,
+            off_s: 1800,
+            seed: 3,
+        };
+        let mut on = 0usize;
+        let total = 24 * 60;
+        for m in 0..total {
+            if s.is_on(Time::from_secs(m * 60)) {
+                on += 1;
+            }
+        }
+        let frac = on as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.03, "frac={frac}");
+        assert!((s.duty_at(Time::ZERO) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sporadic_respects_activity() {
+        let s = Schedule::Sporadic {
+            p_active: 0.5,
+            seed: 7,
+        };
+        let mut day_on = 0;
+        let mut night_on = 0;
+        for d in 0..5u64 {
+            for ten_min in 0..18 {
+                // 09:00..12:00 in 10-minute steps
+                let t = at(d, 9.0 + ten_min as f64 / 6.0);
+                if s.is_on(t) {
+                    day_on += 1;
+                }
+                let tn = at(d, 1.0 + ten_min as f64 / 6.0);
+                if s.is_on(tn) {
+                    night_on += 1;
+                }
+            }
+        }
+        assert!(day_on > night_on, "day={day_on} night={night_on}");
+    }
+
+    #[test]
+    fn activity_profile_shape() {
+        assert!(working_activity(at(0, 10.0)) > 0.9);
+        assert!(working_activity(at(0, 12.5)) < working_activity(at(0, 10.0)));
+        assert!(working_activity(at(0, 2.0)) < 0.1);
+        assert!(working_activity(at(5, 12.0)) < 0.1); // Saturday
+    }
+
+    #[test]
+    fn schedules_are_pure_functions() {
+        let schedules = [
+            Schedule::AlwaysOn,
+            Schedule::BuildingLights,
+            Schedule::OfficeHours { seed: 1 },
+            Schedule::DutyCycle {
+                on_s: 100,
+                off_s: 50,
+                seed: 2,
+            },
+            Schedule::Sporadic {
+                p_active: 0.3,
+                seed: 3,
+            },
+        ];
+        for s in schedules {
+            for hour in [0.0, 8.5, 13.0, 21.5] {
+                let t = at(3, hour);
+                assert_eq!(s.is_on(t), s.is_on(t), "{s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Time-series capture for experiment outputs.
+//!
+//! Every figure of the paper is a time series or a reduction of one. A
+//! [`Series`] collects `(Time, value)` samples and offers the reductions
+//! the paper uses: windowed averages (Fig. 12 "averaged over 1 minute
+//! intervals"), per-hour-of-day averages with error bars (Fig. 13), and
+//! plain mean/std (Fig. 3).
+
+use crate::stats::RunningStats;
+use crate::time::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// A named time series of scalar samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Name used in dumps and tables.
+    pub name: String,
+    /// Samples in non-decreasing time order (enforced on push).
+    points: Vec<(Time, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample. Samples must arrive in non-decreasing time order;
+    /// out-of-order pushes panic in debug builds and are dropped in
+    /// release builds.
+    pub fn push(&mut self, t: Time, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            debug_assert!(t >= last, "out-of-order sample at {t:?} after {last:?}");
+            if t < last {
+                return;
+            }
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw samples.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|p| p.1)
+    }
+
+    /// Mean and standard deviation over the whole series.
+    pub fn stats(&self) -> RunningStats {
+        let mut s = RunningStats::new();
+        for &(_, v) in &self.points {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Average the series into fixed windows of width `bin`. Each output
+    /// point is (window start, mean of samples in the window); empty
+    /// windows are skipped.
+    pub fn window_average(&self, bin: Duration) -> Series {
+        assert!(bin.as_nanos() > 0);
+        let mut out = Series::new(format!("{} ({} avg)", self.name, bin));
+        let mut idx = 0usize;
+        while idx < self.points.len() {
+            let start = Time(self.points[idx].0.as_nanos() / bin.as_nanos() * bin.as_nanos());
+            let end = start + bin;
+            let mut stats = RunningStats::new();
+            while idx < self.points.len() && self.points[idx].0 < end {
+                stats.push(self.points[idx].1);
+                idx += 1;
+            }
+            if stats.count() > 0 {
+                out.points.push((start, stats.mean()));
+            }
+        }
+        out
+    }
+
+    /// Group samples by hour of the simulated day, optionally filtering by
+    /// weekend/weekday, returning per-hour statistics (Fig. 13 style:
+    /// "lines represent the BLE averaged over the same hour of the day and
+    /// error bars show standard deviation").
+    pub fn by_hour_of_day(&self, weekend: Option<bool>) -> Vec<(u32, RunningStats)> {
+        let mut bins: Vec<RunningStats> = (0..24).map(|_| RunningStats::new()).collect();
+        for &(t, v) in &self.points {
+            if let Some(want_weekend) = weekend {
+                if t.is_weekend() != want_weekend {
+                    continue;
+                }
+            }
+            bins[t.hour_of_day() as usize % 24].push(v);
+        }
+        bins.into_iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(h, s)| (h as u32, s))
+            .collect()
+    }
+
+    /// Inter-arrival times between consecutive samples whose value differs
+    /// from the previous one by more than `epsilon` — used for the paper's
+    /// tone-map update inter-arrival metric α (Fig. 11).
+    pub fn change_interarrivals(&self, epsilon: f64) -> Vec<Duration> {
+        let mut out = Vec::new();
+        let mut last_change: Option<(Time, f64)> = None;
+        for &(t, v) in &self.points {
+            match last_change {
+                None => last_change = Some((t, v)),
+                Some((t0, v0)) => {
+                    if (v - v0).abs() > epsilon {
+                        out.push(t - t0);
+                        last_change = Some((t, v));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize to CSV with a `time_s,value` header.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.points.len() * 24 + 16);
+        s.push_str("time_s,value\n");
+        for &(t, v) in &self.points {
+            s.push_str(&format!("{:.6},{:.6}\n", t.as_secs_f64(), v));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = Series::new("x");
+        s.push(Time::from_secs(0), 1.0);
+        s.push(Time::from_secs(1), 3.0);
+        assert_eq!(s.len(), 2);
+        let st = s.stats();
+        assert_eq!(st.mean(), 2.0);
+    }
+
+    #[test]
+    fn window_average_bins_correctly() {
+        let mut s = Series::new("x");
+        for i in 0..10u64 {
+            s.push(Time::from_secs(i), i as f64);
+        }
+        let avg = s.window_average(Duration::from_secs(5));
+        assert_eq!(avg.len(), 2);
+        assert_eq!(avg.points()[0], (Time::ZERO, 2.0)); // mean of 0..=4
+        assert_eq!(avg.points()[1], (Time::from_secs(5), 7.0)); // mean of 5..=9
+    }
+
+    #[test]
+    fn window_average_skips_empty_windows() {
+        let mut s = Series::new("x");
+        s.push(Time::from_secs(0), 1.0);
+        s.push(Time::from_secs(100), 2.0);
+        let avg = s.window_average(Duration::from_secs(10));
+        assert_eq!(avg.len(), 2);
+        assert_eq!(avg.points()[1].0, Time::from_secs(100));
+    }
+
+    #[test]
+    fn by_hour_filters_weekends() {
+        let mut s = Series::new("x");
+        // Monday 10:00 (day 0) value 1, Saturday 10:00 (day 5) value 9.
+        s.push(Time::from_hours(10), 1.0);
+        s.push(Time::from_hours(5 * 24 + 10), 9.0);
+        let weekdays = s.by_hour_of_day(Some(false));
+        assert_eq!(weekdays.len(), 1);
+        assert_eq!(weekdays[0].0, 10);
+        assert_eq!(weekdays[0].1.mean(), 1.0);
+        let weekends = s.by_hour_of_day(Some(true));
+        assert_eq!(weekends[0].1.mean(), 9.0);
+        let all = s.by_hour_of_day(None);
+        assert_eq!(all[0].1.count(), 2);
+    }
+
+    #[test]
+    fn change_interarrivals_detects_updates() {
+        let mut s = Series::new("ble");
+        s.push(Time::from_secs(0), 50.0);
+        s.push(Time::from_secs(1), 50.0); // no change
+        s.push(Time::from_secs(2), 52.0); // change after 2 s
+        s.push(Time::from_secs(5), 52.0);
+        s.push(Time::from_secs(7), 49.0); // change after 5 s
+        let gaps = s.change_interarrivals(0.5);
+        assert_eq!(gaps, vec![Duration::from_secs(2), Duration::from_secs(5)]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut s = Series::new("x");
+        s.push(Time::from_millis(1500), 2.5);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("time_s,value\n"));
+        assert!(csv.contains("1.500000,2.500000"));
+    }
+}

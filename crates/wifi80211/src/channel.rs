@@ -1,0 +1,271 @@
+//! The indoor WiFi channel.
+//!
+//! A scalar (whole-band) SNR process per link — which is precisely the
+//! point: 802.11n rate adaptation sees one number for the whole band, so
+//! any dip drags the entire link down (paper §4.1).
+//!
+//! Components:
+//! * log-distance path loss with wall attenuation from the floor plan —
+//!   beyond ~35 m indoors there is no connectivity, matching the paper's
+//!   blind-spot observation ("At long distance (more than 35 m), there is
+//!   no wireless connectivity");
+//! * static lognormal shadowing (per link);
+//! * fast fading (hundreds of ms correlation);
+//! * slow human-shadowing fades (tens of seconds);
+//! * **interference/activity bursts** scaled by the building's
+//!   `working_activity`: during
+//!   working hours people and co-channel traffic knock the SNR down for
+//!   sub-second periods, which the whole-band rate adaptation converts
+//!   into the large throughput variance of Fig. 3/4.
+
+use crate::mcs::Mcs;
+use serde::{Deserialize, Serialize};
+use simnet::geometry::{Floor, Point};
+use simnet::noise::{impulse_at, ValueNoise};
+use simnet::schedule::working_activity;
+use simnet::time::Time;
+
+/// Channel-model constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WifiChannelParams {
+    /// Transmit power (dBm), EIRP.
+    pub tx_power_dbm: f64,
+    /// Receiver noise floor over the 20 MHz channel (dBm), thermal noise
+    /// plus noise figure.
+    pub noise_floor_dbm: f64,
+    /// Path loss at 1 m (dB).
+    pub pl0_db: f64,
+    /// Path-loss exponent (indoor office ≈ 3.3).
+    pub path_loss_exp: f64,
+    /// Std of the static lognormal shadowing (dB).
+    pub shadowing_std_db: f64,
+    /// Implicit clutter/wall attenuation per metre (dB/m): an office
+    /// floor has partitions roughly every few metres, so attenuation
+    /// beyond free-space grows with distance even when no explicit walls
+    /// are modelled. This is what kills WiFi beyond ~35 m indoors
+    /// (paper §4.1) while PLC still delivers.
+    pub clutter_db_per_m: f64,
+    /// Std of the fast-fading fluctuation (dB).
+    pub fast_fade_db: f64,
+    /// Correlation time of fast fading (s).
+    pub fast_fade_corr_s: f64,
+    /// Std of slow human-shadowing fades (dB).
+    pub slow_fade_db: f64,
+    /// Correlation time of slow fades (s).
+    pub slow_fade_corr_s: f64,
+    /// Peak rate of interference bursts at full working activity (Hz).
+    pub interference_rate_hz: f64,
+    /// Duration of an interference burst (s).
+    pub interference_dur_s: f64,
+    /// SNR penalty while a burst is active (dB).
+    pub interference_db: f64,
+}
+
+impl Default for WifiChannelParams {
+    fn default() -> Self {
+        WifiChannelParams {
+            tx_power_dbm: 15.0,
+            noise_floor_dbm: -95.0,
+            pl0_db: 40.0,
+            path_loss_exp: 3.3,
+            shadowing_std_db: 3.0,
+            clutter_db_per_m: 0.7,
+            fast_fade_db: 2.2,
+            fast_fade_corr_s: 0.25,
+            slow_fade_db: 2.0,
+            slow_fade_corr_s: 25.0,
+            interference_rate_hz: 0.8,
+            interference_dur_s: 0.25,
+            interference_db: 14.0,
+        }
+    }
+}
+
+/// The WiFi channel between two stations on a floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WifiChannel {
+    params: WifiChannelParams,
+    distance_m: f64,
+    wall_db: f64,
+    shadow_db: f64,
+    fast: ValueNoise,
+    slow: ValueNoise,
+    interference_seed: u64,
+}
+
+impl WifiChannel {
+    /// Build the channel between positions `a` and `b` on `floor`.
+    /// `link_seed` individualizes shadowing and fading.
+    pub fn new(
+        floor: &Floor,
+        a: Point,
+        b: Point,
+        params: WifiChannelParams,
+        link_seed: u64,
+    ) -> Self {
+        let distance_m = a.distance(&b).max(1.0);
+        let wall_db = floor.wall_attenuation_db(a, b);
+        // Static shadowing drawn deterministically from the seed.
+        let shadow_noise = ValueNoise::new(link_seed ^ 0x5AAD);
+        let shadow_db = shadow_noise.eval(0.5) * params.shadowing_std_db * 1.7;
+        WifiChannel {
+            params,
+            distance_m,
+            wall_db,
+            shadow_db,
+            fast: ValueNoise::new(link_seed ^ 0xFA57),
+            slow: ValueNoise::new(link_seed ^ 0x510E),
+            interference_seed: link_seed ^ 0x1F7E,
+        }
+    }
+
+    /// Straight-line distance between the endpoints, metres.
+    pub fn distance_m(&self) -> f64 {
+        self.distance_m
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &WifiChannelParams {
+        &self.params
+    }
+
+    /// Mean SNR without temporal effects (dB) — the link budget.
+    pub fn mean_snr_db(&self) -> f64 {
+        let p = &self.params;
+        let pl = p.pl0_db + 10.0 * p.path_loss_exp * self.distance_m.log10();
+        let clutter = p.clutter_db_per_m * self.distance_m;
+        p.tx_power_dbm - pl - self.wall_db - clutter - self.shadow_db - p.noise_floor_dbm
+    }
+
+    /// Instantaneous whole-band SNR (dB) at time `t`. Pure function of
+    /// time: long-horizon experiments can sample anywhere.
+    pub fn snr_db(&self, t: Time) -> f64 {
+        let p = &self.params;
+        let t_s = t.as_secs_f64();
+        let fast = self.fast.fbm(t_s / p.fast_fade_corr_s, 2) * 2.0 * p.fast_fade_db;
+        let slow = self.slow.eval(t_s / p.slow_fade_corr_s) * p.slow_fade_db * 1.7;
+        let activity = working_activity(t);
+        let mut snr = self.mean_snr_db() + fast + slow;
+        if activity > 0.0
+            && impulse_at(
+                self.interference_seed,
+                t_s,
+                p.interference_rate_hz * activity,
+                p.interference_dur_s,
+            )
+        {
+            snr -= p.interference_db;
+        }
+        snr
+    }
+
+    /// Is the link usable at all (mean budget reaches MCS 0)?
+    pub fn connected(&self) -> bool {
+        Mcs::select(self.mean_snr_db(), 0.0).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(d: f64, seed: u64) -> WifiChannel {
+        let floor = Floor::new(70.0, 40.0);
+        WifiChannel::new(
+            &floor,
+            Point::new(0.0, 0.0),
+            Point::new(d, 0.0),
+            WifiChannelParams::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn short_links_are_fast_long_links_are_dead() {
+        let near = chan(5.0, 1);
+        assert!(near.mean_snr_db() > 25.0, "snr={}", near.mean_snr_db());
+        assert!(near.connected());
+        let far = chan(60.0, 1);
+        assert!(!far.connected(), "snr={}", far.mean_snr_db());
+    }
+
+    #[test]
+    fn connectivity_dies_around_35m() {
+        // The paper: no wireless connectivity beyond ~35 m (with interior
+        // walls). Check with a few walls in the way.
+        let mut floor = Floor::new(70.0, 40.0);
+        for x in [8.0, 16.0, 24.0, 32.0] {
+            floor.add_wall(simnet::geometry::Wall::drywall(
+                Point::new(x, -5.0),
+                Point::new(x, 5.0),
+            ));
+        }
+        let mk = |d: f64| {
+            WifiChannel::new(
+                &floor,
+                Point::new(0.0, 0.0),
+                Point::new(d, 0.0),
+                WifiChannelParams::default(),
+                3,
+            )
+        };
+        assert!(mk(12.0).connected());
+        assert!(!mk(42.0).connected());
+    }
+
+    #[test]
+    fn walls_attenuate() {
+        let floor_open = Floor::new(70.0, 40.0);
+        let mut floor_walled = Floor::new(70.0, 40.0);
+        floor_walled.add_wall(simnet::geometry::Wall::concrete(
+            Point::new(5.0, -5.0),
+            Point::new(5.0, 5.0),
+        ));
+        let p = WifiChannelParams::default();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let open = WifiChannel::new(&floor_open, a, b, p, 7).mean_snr_db();
+        let walled = WifiChannel::new(&floor_walled, a, b, p, 7).mean_snr_db();
+        assert!((open - walled - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_is_deterministic_and_time_varying() {
+        let c = chan(10.0, 9);
+        let t = Time::from_secs(100);
+        assert_eq!(c.snr_db(t), c.snr_db(t));
+        // Over a working-hours window the SNR must actually move.
+        let base = Time::from_hours(10); // weekday 10:00
+        let samples: Vec<f64> = (0..200)
+            .map(|i| c.snr_db(base + simnet::time::Duration::from_millis(i * 50)))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!(std > 0.5, "std={std}");
+    }
+
+    #[test]
+    fn working_hours_are_noisier_than_night() {
+        let c = chan(12.0, 11);
+        let sample_std = |start: Time| {
+            let samples: Vec<f64> = (0..2000)
+                .map(|i| c.snr_db(start + simnet::time::Duration::from_millis(i * 100)))
+                .collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64)
+                .sqrt()
+        };
+        let day = sample_std(Time::from_hours(10));
+        let night = sample_std(Time::from_hours(26)); // 2 am next day
+        assert!(day > night, "day={day} night={night}");
+    }
+
+    #[test]
+    fn different_seeds_shadow_differently() {
+        let a = chan(15.0, 1).mean_snr_db();
+        let b = chan(15.0, 2).mean_snr_db();
+        assert_ne!(a, b);
+    }
+}

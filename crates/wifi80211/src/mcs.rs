@@ -1,0 +1,126 @@
+//! The 802.11n modulation and coding scheme (MCS) table.
+//!
+//! 20 MHz channel, 800 ns guard interval, up to two spatial streams:
+//! MCS 0–7 are single-stream (6.5–65 Mb/s), MCS 8–15 dual-stream
+//! (13–130 Mb/s). The paper's WiFi interfaces top out at 130 Mb/s, chosen
+//! to match PLC's ~150 Mb/s nominal capacity (§4.1, footnote 5).
+//!
+//! Unlike a PLC tone map, an MCS applies to **every carrier at once** —
+//! the paper's explanation for WiFi's higher variance.
+
+use serde::{Deserialize, Serialize};
+
+/// An 802.11n MCS index (0–15 for up to two streams at 20 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mcs(pub u8);
+
+/// PHY rates (Mb/s) for MCS 0–15, 20 MHz, 800 ns GI.
+const RATES: [f64; 16] = [
+    6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0, // 1 spatial stream
+    13.0, 26.0, 39.0, 52.0, 78.0, 104.0, 117.0, 130.0, // 2 spatial streams
+];
+
+/// Minimum SNR (dB) for each MCS to sustain a ~10% MPDU error rate; the
+/// dual-stream entries need a few dB more than their single-stream
+/// counterparts (stream separation cost).
+const REQUIRED_SNR: [f64; 16] = [
+    2.0, 5.0, 8.0, 11.0, 15.0, 19.0, 21.0, 23.0, // 1 stream
+    5.0, 8.0, 11.0, 14.0, 18.0, 22.0, 24.0, 26.0, // 2 streams
+];
+
+impl Mcs {
+    /// Highest defined index.
+    pub const MAX: Mcs = Mcs(15);
+
+    /// PHY rate in Mb/s.
+    pub fn phy_rate_mbps(self) -> f64 {
+        RATES[self.0 as usize & 15]
+    }
+
+    /// SNR (dB) this MCS needs for a ~10% MPDU error rate.
+    pub fn required_snr_db(self) -> f64 {
+        REQUIRED_SNR[self.0 as usize & 15]
+    }
+
+    /// The fastest MCS whose requirement is met at `snr_db` after a
+    /// `margin_db` safety margin. `None` when even MCS 0 is out of reach
+    /// (no connectivity).
+    pub fn select(snr_db: f64, margin_db: f64) -> Option<Mcs> {
+        let effective = snr_db - margin_db;
+        (0..16u8)
+            .filter(|&i| effective >= REQUIRED_SNR[i as usize])
+            .max_by(|&a, &b| {
+                RATES[a as usize]
+                    .partial_cmp(&RATES[b as usize])
+                    .expect("rates are finite")
+            })
+            .map(Mcs)
+    }
+
+    /// MPDU error probability at the given SNR: ~10% at the requirement,
+    /// falling a decade per ~2.5 dB of surplus, rising steeply into
+    /// uselessness below it.
+    pub fn mpdu_error_prob(self, snr_db: f64) -> f64 {
+        let deficit = self.required_snr_db() - snr_db;
+        (0.1 * (deficit * 0.92).exp()).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_tops_out_at_130() {
+        assert_eq!(Mcs::MAX.phy_rate_mbps(), 130.0);
+        assert_eq!(Mcs(0).phy_rate_mbps(), 6.5);
+    }
+
+    #[test]
+    fn rates_monotone_within_stream_groups() {
+        for i in 1..8 {
+            assert!(Mcs(i).phy_rate_mbps() > Mcs(i - 1).phy_rate_mbps());
+            assert!(Mcs(i + 8).phy_rate_mbps() > Mcs(i + 7).phy_rate_mbps());
+        }
+    }
+
+    #[test]
+    fn select_picks_fastest_feasible() {
+        assert_eq!(Mcs::select(-5.0, 0.0), None);
+        assert_eq!(Mcs::select(2.0, 0.0), Some(Mcs(0)));
+        // At 30 dB everything is feasible: picks the 130 Mb/s MCS 15.
+        assert_eq!(Mcs::select(30.0, 0.0), Some(Mcs(15)));
+        // Between: at 20 dB the best is MCS 12 (78 Mb/s, needs 18).
+        assert_eq!(Mcs::select(20.0, 0.0), Some(Mcs(12)));
+        // Margin shifts the choice down.
+        assert_eq!(Mcs::select(30.0, 5.0), Some(Mcs(14)));
+    }
+
+    #[test]
+    fn select_rate_is_monotone_in_snr() {
+        let mut last = 0.0;
+        for s in -10..45 {
+            let rate = Mcs::select(s as f64, 0.0)
+                .map(|m| m.phy_rate_mbps())
+                .unwrap_or(0.0);
+            assert!(rate >= last, "rate dropped at snr={s}");
+            last = rate;
+        }
+    }
+
+    #[test]
+    fn error_prob_at_requirement_is_ten_percent() {
+        for i in 0..16u8 {
+            let m = Mcs(i);
+            let p = m.mpdu_error_prob(m.required_snr_db());
+            assert!((p - 0.1).abs() < 1e-9, "mcs {i}");
+        }
+    }
+
+    #[test]
+    fn error_prob_shrinks_with_surplus() {
+        let m = Mcs(15);
+        assert!(m.mpdu_error_prob(40.0) < 1e-4);
+        assert!(m.mpdu_error_prob(20.0) > 0.5);
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Helper: print the headline numbers from out/*.txt for EXPERIMENTS.md.
+set -e
+cd "$(dirname "$0")"
+echo "== fig03 =="; grep -E 'covers|outperforms|max' out/fig03.txt || true
+echo "== fig04 =="; grep -E 'cv=' out/fig04.txt || true
+echo "== fig06 =="; tail -2 out/fig06.txt
+echo "== fig07 =="; grep -E 'rho' out/fig07.txt
+echo "== fig11 =="; grep -E 'rho' out/fig11.txt
+echo "== fig12 =="; grep 'step' out/fig12.txt
+echo "== fig15 =="; grep -E 'fit|residuals' out/fig15.txt
+echo "== fig16 =="; grep -E 't90' out/fig16.txt
+echo "== fig18 =="; grep -E 'probes ->' out/fig18.txt
+echo "== fig19 =="; grep -E 'overhead' out/fig19.txt
+echo "== fig20 =="; grep -E 'Hybrid|Round' out/fig20.txt | head -4
+echo "== fig21 =="; grep -E 'observations' out/fig21.txt
+echo "== fig22 =="; grep -E 'rho' out/fig22.txt
+echo "== fig23 =="; grep -E 'retention' out/fig23.txt
+echo "== fig24 =="; grep -E 'retention' out/fig24.txt
+echo "== ablation =="; grep -E 'share std|retention' out/ablation.txt

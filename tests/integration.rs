@@ -1,0 +1,334 @@
+//! Cross-crate integration tests: end-to-end scenarios exercising the
+//! whole stack (testbed → channels → MAC/estimation → metrics → hybrid
+//! layer) through the public APIs only.
+
+use electrifi::analysis::LinkClass;
+use electrifi::experiments::{Scale, PAPER_SEED};
+use electrifi::{LinkProbeSim, PaperEnv};
+use electrifi_testbed::{PlcNetwork, Testbed};
+use hybrid1905::balancer::SplitStrategy;
+use hybrid1905::metrics::{LinkId, LinkMetric, LinkMetricsDb, Medium};
+use plc_mac::sim::{Flow, PlcSim, SimConfig};
+use plc_phy::PlcTechnology;
+use simnet::time::{Duration, Time};
+use simnet::traffic::TrafficSource;
+
+#[test]
+fn end_to_end_metric_pipeline() {
+    // Channel → probe sim → 1905 metric DB → classification → probe plan.
+    let env = PaperEnv::new(PAPER_SEED);
+    let mut db = LinkMetricsDb::new();
+    let now = Time::from_hours(10);
+    for (a, b) in [(1u16, 2u16), (5, 8), (9, 10)] {
+        for (src, dst) in [(a, b), (b, a)] {
+            let mut sim = LinkProbeSim::new(
+                env.plc_channel(src, dst),
+                PaperEnv::dir(src, dst),
+                env.estimator,
+                99,
+            );
+            sim.warmup(now, 8);
+            db.update(
+                LinkId {
+                    src,
+                    dst,
+                    medium: Medium::Plc,
+                },
+                LinkMetric {
+                    capacity_mbps: sim.ble_avg(),
+                    loss_rate: sim.pberr_cumulative(),
+                    updated_at: now,
+                },
+            );
+        }
+    }
+    assert_eq!(db.len(), 6);
+    for (link, metric) in db.links() {
+        assert!(metric.capacity_mbps > 0.0, "{link:?}");
+        let class = LinkClass::of_ble(metric.capacity_mbps);
+        let plan = electrifi::guidelines::ProbePlan::recommended(metric.capacity_mbps, false);
+        // Guideline consistency: good links get the slowest probing.
+        if class == LinkClass::Good {
+            assert_eq!(plan.interval, Duration::from_secs(80));
+        }
+        // Both directions exist — asymmetry is measurable.
+        assert!(db.asymmetry(*link).is_some());
+    }
+}
+
+#[test]
+fn full_mac_simulation_on_the_testbed_grid() {
+    // Run the detailed MAC on real testbed wiring with three stations and
+    // verify every measurement channel works together.
+    let env = PaperEnv::new(PAPER_SEED);
+    let outlets = [
+        (1u16, env.testbed.station(1).outlet),
+        (2u16, env.testbed.station(2).outlet),
+        (6u16, env.testbed.station(6).outlet),
+    ];
+    let cfg = SimConfig {
+        seed: 7,
+        sniffer: true,
+        ..SimConfig::default()
+    };
+    let mut sim = PlcSim::new(cfg, &env.testbed.grid, &outlets);
+    let f1 = sim.add_flow(Flow::unicast(1, 2, TrafficSource::iperf_saturated()));
+    let f2 = sim.add_flow(Flow::unicast(6, 2, TrafficSource::probe_150kbps()));
+    sim.run_until(Time::from_secs(10));
+    // Both flows delivered.
+    let d1 = sim.take_delivered(f1);
+    let d2 = sim.take_delivered(f2);
+    assert!(d1.len() > 500, "saturated flow: {}", d1.len());
+    assert!(d2.len() > 50, "probe flow: {}", d2.len());
+    // The probe flow's rate is honored despite contention.
+    let rate = d2.len() as f64 * 1500.0 * 8.0 / 10.0;
+    assert!((rate - 150_000.0).abs() / 150_000.0 < 0.25, "rate={rate}");
+    // Metrics flow through the MM interface.
+    assert!(sim.int6krate(1, 2) > 10.0);
+    assert!(sim.ampstat(1, 2).is_some());
+    // The sniffer saw both links' SoFs.
+    let srcs: std::collections::HashSet<u16> =
+        sim.sniffer_records().iter().map(|r| r.sof.src).collect();
+    assert!(srcs.contains(&1) && srcs.contains(&6));
+}
+
+#[test]
+fn plc_asymmetry_exceeds_wifi_asymmetry_on_average() {
+    // §5: PLC asymmetry is more severe than WiFi's. Compare capacity
+    // ratios across a sample of links.
+    let env = PaperEnv::new(PAPER_SEED);
+    let now = Time::from_hours(14);
+    let mut plc_ratios = Vec::new();
+    let mut wifi_ratios = Vec::new();
+    for (a, b) in [(1u16, 2u16), (5u16, 8u16), (0, 3), (9, 10), (4, 7), (2, 11)] {
+        let mut fwd = LinkProbeSim::new(
+            env.plc_channel(a, b),
+            PaperEnv::dir(a, b),
+            env.estimator,
+            1,
+        );
+        let mut rev = LinkProbeSim::new(
+            env.plc_channel(a, b),
+            PaperEnv::dir(b, a),
+            env.estimator,
+            2,
+        );
+        fwd.warmup(now, 8);
+        rev.warmup(now, 8);
+        let (f, r) = (fwd.ble_avg(), rev.ble_avg());
+        if f > 1.0 && r > 1.0 {
+            plc_ratios.push((f / r).max(r / f));
+        }
+        let w = env.wifi_channel(a, b);
+        // WiFi asymmetry in the model comes only from temporal sampling.
+        let f = w.snr_db(now);
+        let r = w.snr_db(now + Duration::from_millis(3));
+        let (cf, cr) = (
+            wifi80211::Mcs::select(f, 1.5).map(|m| m.phy_rate_mbps()).unwrap_or(0.0),
+            wifi80211::Mcs::select(r, 1.5).map(|m| m.phy_rate_mbps()).unwrap_or(0.0),
+        );
+        if cf > 0.0 && cr > 0.0 {
+            wifi_ratios.push((cf / cr).max(cr / cf));
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!plc_ratios.is_empty());
+    assert!(
+        mean(&plc_ratios) >= mean(&wifi_ratios) * 0.9,
+        "plc={:?} wifi={:?}",
+        plc_ratios,
+        wifi_ratios
+    );
+}
+
+#[test]
+fn hybrid_layer_combines_real_medium_streams() {
+    // PLC event sim + WiFi event sim + balancer: the full §7.4 data path.
+    let env = PaperEnv::new(PAPER_SEED);
+    let (a, b) = (1u16, 2u16);
+    // PLC stream.
+    let outlets = [
+        (a, env.testbed.station(a).outlet),
+        (b, env.testbed.station(b).outlet),
+    ];
+    let mut plc = PlcSim::new(SimConfig::default(), &env.testbed.grid, &outlets);
+    let fp = plc.add_flow(Flow::unicast(a, b, TrafficSource::iperf_saturated()));
+    plc.run_until(Time::from_secs(5));
+    let plc_times: Vec<Time> = {
+        let mut d = plc.take_delivered(fp);
+        d.sort_by_key(|p| p.delivered);
+        d.into_iter().map(|p| p.delivered).collect()
+    };
+    // WiFi stream.
+    let positions = [
+        (a, env.testbed.station(a).pos),
+        (b, env.testbed.station(b).pos),
+    ];
+    let mut wifi = wifi80211::WifiSim::new(
+        wifi80211::sim::WifiSimConfig::default(),
+        &env.testbed.floor,
+        &positions,
+    );
+    let fw = wifi.add_flow(wifi80211::WifiFlow {
+        src: a,
+        dst: b,
+        source: TrafficSource::iperf_saturated(),
+    });
+    wifi.run_until(Time::from_secs(5));
+    let wifi_times: Vec<Time> = {
+        let mut d = wifi.take_delivered(fw);
+        d.sort_by_key(|p| p.delivered);
+        d.into_iter().map(|p| p.delivered).collect()
+    };
+    assert!(!plc_times.is_empty() && !wifi_times.is_empty());
+    // Combine with capacity weights read from the mediums themselves.
+    let plc_cap = plc_mac::throughput::throughput_from_ble_fig15(plc.int6krate(a, b));
+    let wifi_cap = wifi.capacity_mbps(a, b);
+    let strategy = SplitStrategy::capacity_weighted(plc_cap, wifi_cap);
+    let total = plc_times.len() + wifi_times.len();
+    let combined = hybrid1905::combine_streams(&plc_times, &wifi_times, strategy, total, 5);
+    let hybrid_rate = combined.mean_throughput_mbps(1500);
+    let plc_rate = {
+        let span = (plc_times[plc_times.len() - 1] - plc_times[0]).as_secs_f64();
+        (plc_times.len() - 1) as f64 * 1500.0 * 8.0 / span / 1e6
+    };
+    assert!(
+        hybrid_rate > plc_rate,
+        "hybrid {hybrid_rate} must beat single-medium {plc_rate}"
+    );
+}
+
+#[test]
+fn testbed_seeds_produce_distinct_but_valid_floors() {
+    for seed in [1u64, 2, 3] {
+        let tb = Testbed::paper_floor(seed);
+        assert_eq!(tb.stations.len(), 19);
+        // Every same-network pair is electrically connected.
+        for (a, b) in tb.plc_pairs() {
+            assert!(tb.cable_distance_m(a, b).is_some(), "seed {seed}: {a}-{b}");
+        }
+        // Channels build for a sample pair and produce sane spectra.
+        let ch = tb
+            .plc_channel(0, 5, PlcTechnology::HpAv, Default::default())
+            .expect("wired");
+        let spec = ch.spectrum(Testbed::link_dir(0, 5), Time::from_hours(3));
+        assert!(spec.snr_db.iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn quick_scale_experiment_suite_is_consistent() {
+    // A smoke pass over several experiment runners, checking cross-figure
+    // consistency: the Fig. 15 fit should predict Fig. 3's PLC
+    // throughputs reasonably.
+    let env = PaperEnv::new(PAPER_SEED);
+    let f15 = electrifi::experiments::capacity::fig15(&env, Scale::Quick);
+    let fit = f15.fit.expect("fit exists");
+    for row in &f15.rows {
+        let predicted_t = (row.ble - fit.intercept) / fit.slope;
+        assert!(
+            (predicted_t - row.throughput).abs() < 0.35 * row.throughput.max(5.0),
+            "link {}-{}: T={} predicted={}",
+            row.a,
+            row.b,
+            row.throughput,
+            predicted_t
+        );
+    }
+    // Network membership respected by experiments: all fig15 pairs are
+    // same-network.
+    for row in &f15.rows {
+        assert_eq!(
+            env.testbed.station(row.a).network,
+            env.testbed.station(row.b).network
+        );
+    }
+    let _ = env.network_members(PlcNetwork::B);
+}
+
+#[test]
+fn timescale_decomposition_matches_the_channel_structure() {
+    // Drive a link and decompose its per-slot BLE samples: the invariance
+    // scale (slot structure) must be visible, and a noisy link's cycle
+    // std must exceed a quiet link's.
+    use electrifi::analysis::decompose;
+    use plc_phy::tonemap::TONEMAP_SLOTS;
+    let env = PaperEnv::new(PAPER_SEED);
+    let decompose_link = |a: u16, b: u16| {
+        let mut sim = LinkProbeSim::new(
+            env.plc_channel(a, b),
+            PaperEnv::dir(a, b),
+            env.estimator,
+            17,
+        );
+        let start = Time::from_hours(2);
+        let mut t = sim.warmup(start, 8);
+        let mut samples = Vec::new();
+        let end = t + Duration::from_secs(20);
+        while t < end {
+            let out = sim.frame(t, 24_000);
+            samples.push((t, out.slot, sim.estimator().ble_slot(out.slot)));
+            t += Duration::from_millis(50);
+        }
+        decompose(&samples, TONEMAP_SLOTS, Duration::from_secs(5)).expect("enough samples")
+    };
+    // 2-6 measured best-in-class, 10-11 worst (see EXPERIMENTS.md).
+    let good = decompose_link(2, 6);
+    let bad = decompose_link(10, 11);
+    assert!(good.mean > bad.mean, "good {} vs bad {}", good.mean, bad.mean);
+    // All decomposition components are finite and non-negative.
+    for d in [&good, &bad] {
+        assert!(d.invariance_spread.is_finite() && d.invariance_spread >= 0.0);
+        assert!(d.cycle_std.is_finite() && d.cycle_std >= 0.0);
+        assert!(d.random_std.is_finite() && d.random_std >= 0.0);
+        assert_eq!(d.slot_means.len(), TONEMAP_SLOTS);
+    }
+}
+
+#[test]
+fn experiment_results_serialize_to_json() {
+    // The result structs are the library's data interchange; they must
+    // round-trip through serde_json.
+    let env = PaperEnv::new(PAPER_SEED);
+    let fig19 = electrifi::experiments::capacity::fig19(&env, Scale::Quick);
+    let json = serde_json::to_string(&fig19).expect("serialize");
+    assert!(json.contains("overhead_reduction"));
+    let back: electrifi::experiments::capacity::Fig19Result =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.adaptive.probes, fig19.adaptive.probes);
+    // Tone maps and channels serialize too (persistence of calibrated
+    // state).
+    let ch = env.plc_channel(1, 2);
+    let ch_json = serde_json::to_string(&ch).expect("channel serializes");
+    let ch2: plc_phy::PlcChannel = serde_json::from_str(&ch_json).expect("channel roundtrips");
+    let t = Time::from_hours(3);
+    assert_eq!(
+        ch.spectrum(PaperEnv::dir(1, 2), t),
+        ch2.spectrum(PaperEnv::dir(1, 2), t),
+        "deserialized channel must be behaviourally identical"
+    );
+}
+
+#[test]
+fn greenphy_interoperates_with_the_testbed() {
+    // A GreenPHY pair on the same wiring: BLE caps near 10 Mb/s even on
+    // the floor's best link.
+    use plc_phy::estimation::{EstimatorConfig, RateProfile};
+    let env = PaperEnv::new(PAPER_SEED);
+    let cfg = EstimatorConfig {
+        profile: RateProfile::greenphy(),
+        ..env.estimator
+    };
+    let mut sim = LinkProbeSim::new(
+        env.plc_channel(2, 6), // the floor's best link
+        PaperEnv::dir(2, 6),
+        cfg,
+        9,
+    );
+    sim.warmup(Time::from_hours(2), 8);
+    let ble = sim.ble_avg();
+    assert!(
+        (4.0..11.0).contains(&ble),
+        "GreenPHY must stay in its ROBO envelope: {ble}"
+    );
+}
