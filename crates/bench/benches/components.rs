@@ -90,15 +90,7 @@ fn bench_balancer(c: &mut Criterion) {
     let a: Vec<Time> = (1..5000u64).map(Time::from_micros).collect();
     let b: Vec<Time> = (1..2000u64).map(|k| Time::from_micros(k * 3)).collect();
     c.bench_function("balancer_combine_7000_packets", |bch| {
-        bch.iter(|| {
-            combine_streams(
-                &a,
-                &b,
-                SplitStrategy::Weighted { p_first: 0.7 },
-                6500,
-                7,
-            )
-        })
+        bch.iter(|| combine_streams(&a, &b, SplitStrategy::Weighted { p_first: 0.7 }, 6500, 7))
     });
 }
 

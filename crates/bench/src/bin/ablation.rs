@@ -11,6 +11,7 @@
 
 use electrifi::experiments::{retrans, Scale, PAPER_SEED};
 use electrifi::PaperEnv;
+use electrifi_bench::RunGuard;
 use plc_mac::sim::{Flow, PlcSim, SimConfig};
 use simnet::stats::RunningStats;
 use simnet::time::{Duration, Time};
@@ -68,13 +69,18 @@ fn contention_run(env: &PaperEnv, disable_deferral: bool) -> (f64, f64) {
 }
 
 fn main() {
+    let run = RunGuard::begin("ablation", PAPER_SEED, Scale::Quick);
     let env = PaperEnv::new(PAPER_SEED);
 
     println!("Ablation 1 — deferral counter (2 saturated stations, 10 s):");
     let (imb_1901, jit_1901) = contention_run(&env, false);
     let (imb_dcf, jit_dcf) = contention_run(&env, true);
-    println!("  1901 CSMA/CA (deferral ON) : share std {imb_1901:.3}, delivery jitter {jit_1901:.2} ms");
-    println!("  802.11-style (deferral OFF): share std {imb_dcf:.3}, delivery jitter {jit_dcf:.2} ms");
+    println!(
+        "  1901 CSMA/CA (deferral ON) : share std {imb_1901:.3}, delivery jitter {jit_1901:.2} ms"
+    );
+    println!(
+        "  802.11-style (deferral OFF): share std {imb_dcf:.3}, delivery jitter {jit_dcf:.2} ms"
+    );
     println!("  (expected: the deferral counter raises short-term share variance / jitter)\n");
 
     println!("Ablation 2 — capture effect (Fig. 23 sensitive pair):");
@@ -95,4 +101,5 @@ fn main() {
 
     // Duration guard so the binary is visibly doing work at paper scale.
     let _ = Duration::from_secs(1);
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{spatial, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig03", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = spatial::fig3(&env, scale_from_env());
+    let r = spatial::fig3(&env, scale);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -19,7 +21,14 @@ fn main() {
                 fmt(m.s_plc, 1),
                 fmt(m.t_wifi, 1),
                 fmt(m.s_wifi, 1),
-                fmt(if m.t_plc > 0.0 { m.t_wifi / m.t_plc } else { f64::NAN }, 2),
+                fmt(
+                    if m.t_plc > 0.0 {
+                        m.t_wifi / m.t_plc
+                    } else {
+                        f64::NAN
+                    },
+                    2,
+                ),
             ]
         })
         .collect();
@@ -32,9 +41,25 @@ fn main() {
         )
     );
     println!();
-    println!("PLC covers {:.0}% of WiFi-connected pairs (paper: 100%)", 100.0 * r.plc_covers_wifi);
-    println!("WiFi covers {:.0}% of PLC-connected pairs (paper: 81%)", 100.0 * r.wifi_covers_plc);
-    println!("PLC outperforms WiFi on {:.0}% of pairs (paper: 52%)", 100.0 * r.plc_wins);
-    println!("max PLC gain {:.1}x (paper: 18x), max WiFi gain {:.1}x (paper: 12x)", r.max_plc_gain, r.max_wifi_gain);
-    println!("max sigma: WiFi {:.1} Mb/s (paper: 19.2), PLC {:.1} Mb/s (paper: 3.8)", r.max_sigma_wifi, r.max_sigma_plc);
+    println!(
+        "PLC covers {:.0}% of WiFi-connected pairs (paper: 100%)",
+        100.0 * r.plc_covers_wifi
+    );
+    println!(
+        "WiFi covers {:.0}% of PLC-connected pairs (paper: 81%)",
+        100.0 * r.wifi_covers_plc
+    );
+    println!(
+        "PLC outperforms WiFi on {:.0}% of pairs (paper: 52%)",
+        100.0 * r.plc_wins
+    );
+    println!(
+        "max PLC gain {:.1}x (paper: 18x), max WiFi gain {:.1}x (paper: 12x)",
+        r.max_plc_gain, r.max_wifi_gain
+    );
+    println!(
+        "max sigma: WiFi {:.1} Mb/s (paper: 19.2), PLC {:.1} Mb/s (paper: 3.8)",
+        r.max_sigma_wifi, r.max_sigma_plc
+    );
+    run.finish();
 }

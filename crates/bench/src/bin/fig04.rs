@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{temporal, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, scale_from_env};
+use electrifi_bench::{fmt, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig04", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = temporal::fig4(&env, scale_from_env());
+    let r = temporal::fig4(&env, scale);
     for (name, link) in [("good", &r.good), ("average", &r.average)] {
         let p = link.plc.stats();
         let w = link.wifi.stats();
@@ -20,17 +22,18 @@ fn main() {
         // Print a decimated trace for plotting.
         let n = link.plc.len();
         let step = (n / 24).max(1);
-        for (i, ((tp, vp), (_, vw))) in link
-            .plc
-            .points()
-            .iter()
-            .zip(link.wifi.points())
-            .enumerate()
+        for (i, ((tp, vp), (_, vw))) in link.plc.points().iter().zip(link.wifi.points()).enumerate()
         {
             if i % step == 0 {
-                println!("  t={:>8.0}s  PLC={:>6.1}  WiFi={:>6.1}", tp.as_secs_f64(), vp, vw);
+                println!(
+                    "  t={:>8.0}s  PLC={:>6.1}  WiFi={:>6.1}",
+                    tp.as_secs_f64(),
+                    vp,
+                    vw
+                );
             }
         }
     }
     println!("(paper: good link varies much more on WiFi; both vary on the average link)");
+    run.finish();
 }

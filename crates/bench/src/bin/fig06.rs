@@ -2,11 +2,13 @@
 
 use electrifi::experiments::{spatial, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig06", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = spatial::fig6(&env, scale_from_env());
+    let r = spatial::fig6(&env, scale);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -33,4 +35,5 @@ fn main() {
         "{:.0}% of connected pairs show >1.5x asymmetry (paper: ~30%)",
         100.0 * r.frac_above_1_5
     );
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{spatial, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig07", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = spatial::fig7(&env, scale_from_env());
+    let r = spatial::fig7(&env, scale);
     for (name, rows) in [("HomePlug AV", &r.av), ("HomePlug AV500", &r.av500)] {
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -37,4 +39,5 @@ fn main() {
     if let Some(rho) = simnet::stats::spearman(&pts) {
         println!("AV PBerr-vs-throughput Spearman rho = {rho:.2} (paper: PBerr decreases as throughput grows)");
     }
+    run.finish();
 }

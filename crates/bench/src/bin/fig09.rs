@@ -3,11 +3,16 @@
 
 use electrifi::experiments::{temporal, Scale, PAPER_SEED};
 use electrifi::PaperEnv;
+use electrifi_bench::RunGuard;
 
 fn main() {
+    let run = RunGuard::begin("fig09", PAPER_SEED, Scale::Paper);
     let env = PaperEnv::new(PAPER_SEED);
     let r = temporal::fig9(&env, Scale::Paper);
-    println!("Fig. 9 — per-frame BLEs under saturation (expected period {})\n", r.expected_period);
+    println!(
+        "Fig. 9 — per-frame BLEs under saturation (expected period {})\n",
+        r.expected_period
+    );
     for (a, b, recs) in &r.links {
         println!("link {a}-{b}: {} frames captured", recs.len());
         for (t, slot, ble) in recs.iter().take(40) {
@@ -26,4 +31,5 @@ fn main() {
         }
         println!();
     }
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{temporal, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, scale_from_env};
+use electrifi_bench::{fmt, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig10", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = temporal::fig10(&env, scale_from_env());
+    let r = temporal::fig10(&env, scale);
     println!("Fig. 10 — cycle-scale BLE variation (night, fixed electrical structure)\n");
     for t in &r.traces {
         let s = t.ble.stats();
@@ -23,4 +25,5 @@ fn main() {
         );
     }
     println!("\n(paper: bad links update tone maps often with high std; good links hold maps for seconds)");
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{temporal, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig11", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = temporal::fig11(&env, scale_from_env());
+    let r = temporal::fig11(&env, scale);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -29,6 +31,13 @@ fn main() {
         )
     );
     println!();
-    println!("Spearman rho(BLE, alpha) = {:?} (paper: positive — good links update less often)", r.rho_ble_alpha.map(|v| (v * 100.0).round() / 100.0));
-    println!("Spearman rho(BLE, std)   = {:?} (paper: negative — good links vary less)", r.rho_ble_std.map(|v| (v * 100.0).round() / 100.0));
+    println!(
+        "Spearman rho(BLE, alpha) = {:?} (paper: positive — good links update less often)",
+        r.rho_ble_alpha.map(|v| (v * 100.0).round() / 100.0)
+    );
+    println!(
+        "Spearman rho(BLE, std)   = {:?} (paper: negative — good links vary less)",
+        r.rho_ble_std.map(|v| (v * 100.0).round() / 100.0)
+    );
+    run.finish();
 }

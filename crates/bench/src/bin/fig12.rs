@@ -3,13 +3,19 @@
 
 use electrifi::experiments::{temporal, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, scale_from_env};
+use electrifi_bench::{fmt, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig12", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = temporal::fig12(&env, scale_from_env());
+    let r = temporal::fig12(&env, scale);
     for (name, trace, main_series) in [
-        ("15-16 (throughput)", &r.link_15_16, &r.link_15_16.throughput),
+        (
+            "15-16 (throughput)",
+            &r.link_15_16,
+            &r.link_15_16.throughput,
+        ),
         ("0-1 (BLE)", &r.link_0_1, &r.link_0_1.ble),
     ] {
         println!("Fig. 12 — link {name}, 2 days at 1-minute averages");
@@ -25,7 +31,13 @@ fn main() {
                     .find(|(tp, _)| tp >= t)
                     .map(|(_, v)| *v)
                     .unwrap_or(f64::NAN);
-                println!("  day {} {:>5.1}h  metric={:>6.1}  PBerr={}", t.day_index(), hour, v, fmt(p, 3));
+                println!(
+                    "  day {} {:>5.1}h  metric={:>6.1}  PBerr={}",
+                    t.day_index(),
+                    hour,
+                    v,
+                    fmt(p, 3)
+                );
             }
         }
         // Quantify the 9 pm step: mean in the hour before vs after 21:00.
@@ -45,4 +57,5 @@ fn main() {
             fmt(after.mean(), 1)
         );
     }
+    run.finish();
 }

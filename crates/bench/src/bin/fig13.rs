@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{temporal, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig13", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = temporal::weekly(&env, 1, 8, scale_from_env());
+    let r = temporal::weekly(&env, 1, 8, scale);
     let table = |rows: &[(u32, f64, f64)]| -> Vec<Vec<String>> {
         rows.iter()
             .map(|(h, m, s)| vec![format!("{h:02}:00"), fmt(*m, 1), fmt(*s, 2)])
@@ -30,4 +32,5 @@ fn main() {
         )
     );
     println!("(paper: good link swings only a few Mb/s with the working day; weekends flat)");
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{temporal, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig14", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = temporal::weekly(&env, 2, 11, scale_from_env());
+    let r = temporal::weekly(&env, 2, 11, scale);
     let rows: Vec<Vec<String>> = r
         .weekday_by_hour
         .iter()
@@ -27,7 +29,15 @@ fn main() {
         let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
         max - min
     };
-    println!("\nweekday diurnal swing: {} Mb/s (paper: bad links swing far more than good ones)", fmt(day_swing, 1));
+    println!(
+        "\nweekday diurnal swing: {} Mb/s (paper: bad links swing far more than good ones)",
+        fmt(day_swing, 1)
+    );
     let thr = r.trace.throughput.stats();
-    println!("throughput over the fortnight: mean {} Mb/s, std {}", fmt(thr.mean(), 1), fmt(thr.std(), 2));
+    println!(
+        "throughput over the fortnight: mean {} Mb/s, std {}",
+        fmt(thr.mean(), 1),
+        fmt(thr.std(), 2)
+    );
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{capacity, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig15", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = capacity::fig15(&env, scale_from_env());
+    let r = capacity::fig15(&env, scale);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -21,7 +23,11 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table("Fig. 15 — per-link (T, BLE)", &["link", "T Mb/s", "BLE Mb/s"], &rows)
+        render_table(
+            "Fig. 15 — per-link (T, BLE)",
+            &["link", "T Mb/s", "BLE Mb/s"],
+            &rows
+        )
     );
     match r.fit {
         Some(fit) => {
@@ -40,4 +46,5 @@ fn main() {
         }
         None => println!("not enough points for a fit"),
     }
+    run.finish();
 }

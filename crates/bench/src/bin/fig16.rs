@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{capacity, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::scale_from_env;
+use electrifi_bench::{scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig16", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = capacity::fig16(&env, scale_from_env());
+    let r = capacity::fig16(&env, scale);
     for ((a, b), traces) in &r.links {
         println!("Fig. 16 — link {a}-{b}: estimated capacity after reset");
         for t in traces {
@@ -28,4 +30,5 @@ fn main() {
         }
         println!("  (paper: all rates converge to the same value; higher rates converge faster)\n");
     }
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{capacity, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::scale_from_env;
+use electrifi_bench::{scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig17", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = capacity::fig17(&env, scale_from_env());
+    let r = capacity::fig17(&env, scale);
     println!(
         "Fig. 17 — probing 20 pkt/s, paused at {:.0}s, resumed at {:.0}s\n",
         r.pause_at.as_secs_f64(),
@@ -16,7 +18,8 @@ fn main() {
     for ((a, b), series) in &r.links {
         let before = series
             .points()
-            .iter().rfind(|(t, _)| *t < r.pause_at)
+            .iter()
+            .rfind(|(t, _)| *t < r.pause_at)
             .map(|(_, v)| *v)
             .unwrap_or(f64::NAN);
         let after = series
@@ -30,4 +33,5 @@ fn main() {
         );
     }
     println!("\n(paper: the estimation resumes from its pre-pause value)");
+    run.finish();
 }

@@ -3,19 +3,31 @@
 
 use electrifi::experiments::{capacity, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::scale_from_env;
+use electrifi_bench::{scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig18", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = capacity::fig18(&env, scale_from_env());
-    println!("Fig. 18 — 1 probe/s of various sizes on a good link; R1sym = {:.1} Mb/s\n", r.r1sym);
+    let r = capacity::fig18(&env, scale);
+    println!(
+        "Fig. 18 — 1 probe/s of various sizes on a good link; R1sym = {:.1} Mb/s\n",
+        r.r1sym
+    );
     for (bytes, series) in &r.sizes {
         let last = series.points().last().map(|p| p.1).unwrap_or(0.0);
         let capped = last <= r.r1sym * 1.02;
         println!(
             "  {bytes:>5} B probes -> final estimate {last:>6.1} Mb/s {}",
-            if capped { "(capped at R1sym)" } else { "(above R1sym)" }
+            if capped {
+                "(capped at R1sym)"
+            } else {
+                "(above R1sym)"
+            }
         );
     }
-    println!("\n(paper: 200 B and 520 B converge to ~89 Mb/s and stay; 521 B and 1300 B go higher)");
+    println!(
+        "\n(paper: 200 B and 520 B converge to ~89 Mb/s and stay; 521 B and 1300 B go higher)"
+    );
+    run.finish();
 }

@@ -4,14 +4,19 @@
 
 use electrifi::experiments::{capacity, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::scale_from_env;
+use electrifi_bench::{scale_from_env, RunGuard};
 use simnet::stats::Ecdf;
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig19", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = capacity::fig19(&env, scale_from_env());
+    let r = capacity::fig19(&env, scale);
     println!("Fig. 19 — estimation-error CDFs\n");
-    println!("{:>12} {:>10} {:>10} {:>10} {:>8}", "method", "median", "p90", "p99", "probes");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>8}",
+        "method", "median", "p90", "p99", "probes"
+    );
     for (name, eval) in [
         ("our method", &r.adaptive),
         ("every 5 s", &r.every_5s),
@@ -31,4 +36,5 @@ fn main() {
         "\noverhead reduction vs 5 s probing: {:.0}% (paper: 32%)",
         100.0 * r.overhead_reduction
     );
+    run.finish();
 }

@@ -3,18 +3,31 @@
 
 use electrifi::experiments::{hybrid, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig20", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = hybrid::fig20(&env, scale_from_env());
+    let r = hybrid::fig20(&env, scale);
     let d = &r.detail;
     println!("Fig. 20 (left) — link {}-{}:", d.link.0, d.link.1);
     println!("  WiFi only   : {:>6.1} Mb/s", d.wifi_only);
     println!("  PLC only    : {:>6.1} Mb/s", d.plc_only);
-    println!("  Round-robin : {:>6.1} Mb/s (2x slower medium = {:.1})", d.round_robin, 2.0 * d.plc_only.min(d.wifi_only));
-    println!("  Hybrid      : {:>6.1} Mb/s (sum of mediums = {:.1})", d.hybrid, d.plc_only + d.wifi_only);
-    println!("  jitter: hybrid {:.3} ms vs single {:.3} ms\n", d.hybrid_jitter_ms, d.single_jitter_ms);
+    println!(
+        "  Round-robin : {:>6.1} Mb/s (2x slower medium = {:.1})",
+        d.round_robin,
+        2.0 * d.plc_only.min(d.wifi_only)
+    );
+    println!(
+        "  Hybrid      : {:>6.1} Mb/s (sum of mediums = {:.1})",
+        d.hybrid,
+        d.plc_only + d.wifi_only
+    );
+    println!(
+        "  jitter: hybrid {:.3} ms vs single {:.3} ms\n",
+        d.hybrid_jitter_ms, d.single_jitter_ms
+    );
 
     let rows: Vec<Vec<String>> = r
         .completions
@@ -40,4 +53,5 @@ fn main() {
         )
     );
     println!("\n(paper: drastic decrease in completion times when using both mediums)");
+    run.finish();
 }

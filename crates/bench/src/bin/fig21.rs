@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{retrans, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig21", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = retrans::fig21(&env, scale_from_env());
+    let r = retrans::fig21(&env, scale);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -36,4 +38,5 @@ fn main() {
         r.rows.len()
     );
     println!("(paper: wide quality range at ~1e-4 loss; only a few bad links exceed 1e-1 — ETX learns nothing)");
+    run.finish();
 }

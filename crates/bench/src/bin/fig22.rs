@@ -2,11 +2,13 @@
 
 use electrifi::experiments::{retrans, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig22", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = retrans::fig22(&env, scale_from_env());
+    let r = retrans::fig22(&env, scale);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -32,4 +34,5 @@ fn main() {
         "\nPearson rho(PBerr, U-ETX) = {:?} (paper: almost linear relationship)",
         r.rho_pberr_uetx.map(|v| (v * 100.0).round() / 100.0)
     );
+    run.finish();
 }

@@ -3,11 +3,13 @@
 
 use electrifi::experiments::{retrans, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, scale_from_env};
+use electrifi_bench::{fmt, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig23", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = retrans::fig23(&env, scale_from_env());
+    let r = retrans::fig23(&env, scale);
     for (name, t) in [("insensitive", &r.insensitive), ("sensitive", &r.sensitive)] {
         println!(
             "Fig. 23 [{name}] probe {}-{} vs background {}-{}: BLE retention after activation = {}",
@@ -18,7 +20,12 @@ fn main() {
             fmt(t.ble_retention(), 2),
         );
         let p = t.pberr.stats();
-        println!("  PBerr over the run: mean {} max {}", fmt(p.mean(), 3), fmt(p.max(), 3));
+        println!(
+            "  PBerr over the run: mean {} max {}",
+            fmt(p.mean(), 3),
+            fmt(p.max(), 3)
+        );
     }
     println!("\n(paper: BLE of the sensitive pair collapses and its PBerr explodes; the other pair is unaffected)");
+    run.finish();
 }

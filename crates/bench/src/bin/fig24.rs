@@ -3,15 +3,19 @@
 
 use electrifi::experiments::{retrans, PAPER_SEED};
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, scale_from_env};
+use electrifi_bench::{fmt, scale_from_env, RunGuard};
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("fig24", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let r = retrans::fig24(&env, scale_from_env());
+    let r = retrans::fig24(&env, scale);
     println!(
         "Fig. 24 — probe {}-{} against background {}-{}:",
-        r.single.probe_link.0, r.single.probe_link.1,
-        r.single.background_link.0, r.single.background_link.1
+        r.single.probe_link.0,
+        r.single.probe_link.1,
+        r.single.background_link.0,
+        r.single.background_link.1
     );
     println!(
         "  single 150 kb/s probes : BLE retention {}",
@@ -22,4 +26,5 @@ fn main() {
         fmt(r.bursts.ble_retention(), 2)
     );
     println!("\n(paper: with bursts, BLE is no longer affected by background traffic)");
+    run.finish();
 }

@@ -9,10 +9,11 @@
 //! ```
 
 use electrifi::analysis::LinkClass;
+use electrifi::experiments::Scale;
 use electrifi::experiments::PAPER_SEED;
 use electrifi::guidelines::ProbePlan;
 use electrifi::{LinkProbeSim, PaperEnv};
-use electrifi_bench::{fmt, render_table};
+use electrifi_bench::{fmt, render_table, RunGuard};
 use plc_phy::characterization::characterize;
 use serde::Serialize;
 use simnet::time::Time;
@@ -43,6 +44,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(PAPER_SEED);
     let env = PaperEnv::new(seed);
+    let run = RunGuard::begin("survey", seed, Scale::Paper);
     let now = Time::from_hours(10);
 
     let mut rows = Vec::new();
@@ -111,4 +113,5 @@ fn main() {
         )
     );
     println!("\n{} usable directed PLC links.", rows.len());
+    run.finish();
 }

@@ -1,15 +1,25 @@
 //! Print Table 3 (the link-metric estimation guidelines) from the typed
 //! policy data, with a derived probe plan per link class.
 
+use electrifi::experiments::Scale;
 use electrifi::guidelines::{table3, ProbePlan};
+use electrifi_bench::RunGuard;
 
 fn main() {
+    let run = RunGuard::begin("table3", 0, Scale::Paper);
     println!("Table 3 — guidelines for PLC link-metric estimation\n");
     for g in table3() {
-        println!("[{}]\n  {}\n  (sections {})\n", g.policy, g.guideline, g.sections);
+        println!(
+            "[{}]\n  {}\n  (sections {})\n",
+            g.policy, g.guideline, g.sections
+        );
     }
     println!("Derived probe plans:");
-    for (label, ble) in [("bad (BLE 40)", 40.0), ("average (BLE 80)", 80.0), ("good (BLE 120)", 120.0)] {
+    for (label, ble) in [
+        ("bad (BLE 40)", 40.0),
+        ("average (BLE 80)", 80.0),
+        ("good (BLE 120)", 120.0),
+    ] {
         let p = ProbePlan::recommended(ble, false);
         let pc = ProbePlan::recommended(ble, true);
         println!(
@@ -20,4 +30,5 @@ fn main() {
             pc.burst_len
         );
     }
+    run.finish();
 }

@@ -6,18 +6,20 @@
 use electrifi::experiments::temporal::cycle_trace;
 use electrifi::experiments::PAPER_SEED;
 use electrifi::PaperEnv;
-use electrifi_bench::{fmt, render_table, scale_from_env};
+use electrifi_bench::{fmt, render_table, scale_from_env, RunGuard};
 use plc_phy::estimation::EstimatorConfig;
 use plc_phy::PlcTechnology;
 use simnet::time::Duration;
 
 fn main() {
+    let scale = scale_from_env();
+    let run = RunGuard::begin("vendors", PAPER_SEED, scale);
     let env = PaperEnv::new(PAPER_SEED);
-    let duration = match electrifi_bench::scale_from_env() {
+    let duration = match scale {
         electrifi::experiments::Scale::Paper => Duration::from_secs(240),
         electrifi::experiments::Scale::Quick => Duration::from_secs(12),
     };
-    let _ = scale_from_env();
+    let _ = scale;
     let vendors: [(&str, EstimatorConfig); 3] = [
         ("intellon", EstimatorConfig::vendor_intellon()),
         ("qca-av500", EstimatorConfig::vendor_qca()),
@@ -52,4 +54,5 @@ fn main() {
         )
     );
     println!("\n(expected: aggressive vendors advertise more BLE with more churn; the QCA quirk adds deep dips on error bursts)");
+    run.finish();
 }

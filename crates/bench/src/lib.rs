@@ -5,9 +5,12 @@
 //! helpers: plain-text tables and series dumps that print the same rows
 //! the paper reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use electrifi::experiments::Scale;
+use simnet::obs::{self, Obs, RunManifest};
+use simnet::time::Time;
 
 /// Scale selection for the reproduction binaries: `Paper` by default,
 /// `Quick` when `ELECTRIFI_SCALE=quick` is set (smoke runs / CI).
@@ -15,6 +18,100 @@ pub fn scale_from_env() -> Scale {
     match std::env::var("ELECTRIFI_SCALE").as_deref() {
         Ok("quick") | Ok("Quick") | Ok("QUICK") => Scale::Quick,
         _ => Scale::Paper,
+    }
+}
+
+/// Observability scaffolding for one reproduction run: installs a fresh
+/// metrics registry as the ambient [`simnet::obs`] handle (so every
+/// simulation constructed inside the run reports into it) and, on
+/// [`RunGuard::finish`], writes a [`RunManifest`] — seed, config digest,
+/// scale, sim horizon, wall-clock time, events fired and the final
+/// metrics snapshot — to `out/<name>.manifest.json`.
+///
+/// ```no_run
+/// let mut run = electrifi_bench::RunGuard::begin("fig16", 2015, electrifi::experiments::Scale::Quick);
+/// // ... run the experiment ...
+/// run.finish();
+/// ```
+pub struct RunGuard {
+    name: String,
+    seed: u64,
+    scale: Scale,
+    config_digest: String,
+    sim_horizon_s: f64,
+    obs: Obs,
+    prev: Obs,
+    start: std::time::Instant,
+}
+
+impl RunGuard {
+    /// Start a run: install a fresh enabled [`Obs`] as the ambient handle
+    /// and start the wall clock. The config digest defaults to a hash of
+    /// `(name, seed, scale)`; override with [`RunGuard::set_config`] when
+    /// the run has a richer configuration.
+    pub fn begin(name: &str, seed: u64, scale: Scale) -> Self {
+        let obs = Obs::new();
+        let prev = obs::set_default(obs.clone());
+        RunGuard {
+            name: name.to_string(),
+            seed,
+            scale,
+            config_digest: obs::config_digest(&(name, seed, scale)),
+            sim_horizon_s: 0.0,
+            obs,
+            prev,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// The run's observability handle (e.g. to attach a sink).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Digest the run's full configuration instead of the default
+    /// `(name, seed, scale)` triple.
+    pub fn set_config<C: std::fmt::Debug>(&mut self, config: &C) {
+        self.config_digest = obs::config_digest(config);
+    }
+
+    /// Record the simulated horizon covered by the run.
+    pub fn set_sim_horizon(&mut self, end: Time) {
+        self.sim_horizon_s = self.sim_horizon_s.max(end.as_secs_f64());
+    }
+
+    /// Stop the wall clock, restore the previous ambient handle, build the
+    /// manifest and write it to `out/<name>.manifest.json` (best-effort:
+    /// an unwritable `out/` prints a warning instead of failing the run).
+    pub fn finish(self) -> RunManifest {
+        let wall_clock_s = self.start.elapsed().as_secs_f64();
+        obs::set_default(self.prev);
+        let metrics = self.obs.registry().snapshot();
+        let manifest = RunManifest {
+            name: self.name,
+            seed: self.seed,
+            config_digest: self.config_digest,
+            scale: format!("{:?}", self.scale).to_lowercase(),
+            sim_horizon_s: self.sim_horizon_s,
+            wall_clock_s,
+            events_fired: metrics.counter("sim.events_fired"),
+            metrics,
+        };
+        let path = format!("out/{}.manifest.json", manifest.name);
+        let json = serde_json::to_string_pretty(&manifest)
+            .map(|s| s + "\n")
+            .map_err(|e| format!("{e:?}"));
+        if let Err(e) = json
+            .and_then(|body| {
+                std::fs::create_dir_all("out")
+                    .map_err(|e| e.to_string())
+                    .map(|()| body)
+            })
+            .and_then(|body| std::fs::write(&path, body).map_err(|e| e.to_string()))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+        manifest
     }
 }
 

@@ -186,13 +186,25 @@ mod tests {
     #[test]
     fn decomposition_separates_cycle_and_random() {
         let offsets = [0.0; 6];
-        let quiet = decompose(&synth(&offsets, 0.5, 0.0, 12000), 6, Duration::from_secs(30))
-            .unwrap();
-        let noisy = decompose(&synth(&offsets, 4.0, 0.0, 12000), 6, Duration::from_secs(30))
-            .unwrap();
+        let quiet = decompose(
+            &synth(&offsets, 0.5, 0.0, 12000),
+            6,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let noisy = decompose(
+            &synth(&offsets, 4.0, 0.0, 12000),
+            6,
+            Duration::from_secs(30),
+        )
+        .unwrap();
         assert!(noisy.cycle_std > 3.0 * quiet.cycle_std);
-        let drifting =
-            decompose(&synth(&offsets, 0.5, 8.0, 12000), 6, Duration::from_secs(30)).unwrap();
+        let drifting = decompose(
+            &synth(&offsets, 0.5, 8.0, 12000),
+            6,
+            Duration::from_secs(30),
+        )
+        .unwrap();
         assert!(
             drifting.random_std > 3.0 * quiet.random_std,
             "drifting={} quiet={}",

@@ -40,12 +40,7 @@ impl PaperEnv {
 
     /// The PLC channel with an explicit technology (HPAV vs HPAV500 for
     /// the Fig. 7 comparison).
-    pub fn plc_channel_tech(
-        &self,
-        a: StationId,
-        b: StationId,
-        tech: PlcTechnology,
-    ) -> PlcChannel {
+    pub fn plc_channel_tech(&self, a: StationId, b: StationId, tech: PlcTechnology) -> PlcChannel {
         self.testbed
             .plc_channel(a, b, tech, self.plc_params)
             .unwrap_or_else(|| panic!("stations {a} and {b} share no wiring"))

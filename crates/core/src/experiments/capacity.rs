@@ -307,7 +307,8 @@ mod tests {
         let env = PaperEnv::new(PAPER_SEED);
         let r = fig16(&env, Scale::Quick);
         let (_link, traces) = &r.links[0];
-        let final_of = |t: &ConvergenceTrace| t.estimate.points().last().map(|p| p.1).unwrap_or(0.0);
+        let final_of =
+            |t: &ConvergenceTrace| t.estimate.points().last().map(|p| p.1).unwrap_or(0.0);
         // Highest rate ends at least as high as the lowest rate.
         let slow = traces.iter().find(|t| t.pkts_per_sec == 1).unwrap();
         let fast = traces.iter().find(|t| t.pkts_per_sec == 200).unwrap();
@@ -378,9 +379,8 @@ mod tests {
             r.overhead_reduction
         );
         // Adaptive accuracy sits between the 5 s and 80 s baselines.
-        let med = |e: &PolicyEvaluation| {
-            simnet::stats::Ecdf::new(e.errors_mbps.clone()).quantile(0.9)
-        };
+        let med =
+            |e: &PolicyEvaluation| simnet::stats::Ecdf::new(e.errors_mbps.clone()).quantile(0.9);
         assert!(
             med(&r.adaptive) <= med(&r.every_80s) + 1e-9,
             "adaptive p90={} vs 80s p90={}",

@@ -210,10 +210,7 @@ pub fn fig20(env: &PaperEnv, scale: Scale) -> Fig20Result {
         // whole file.
         let wifi_rate = mean_rate_mbps(&wifi_times);
         let wifi_s = file_bytes as f64 * 8.0 / (wifi_rate * 1e6);
-        let strategy = SplitStrategy::capacity_weighted(
-            mean_rate_mbps(&plc_times),
-            wifi_rate,
-        );
+        let strategy = SplitStrategy::capacity_weighted(mean_rate_mbps(&plc_times), wifi_rate);
         let hybrid = combine_streams(
             &plc_times,
             &wifi_times,
@@ -247,11 +244,7 @@ mod tests {
         assert!(d.wifi_only > 1.0, "wifi={}", d.wifi_only);
         let sum = d.plc_only + d.wifi_only;
         // Hybrid approaches the sum of capacities (within 25%).
-        assert!(
-            d.hybrid > 0.7 * sum,
-            "hybrid={} sum={sum}",
-            d.hybrid
-        );
+        assert!(d.hybrid > 0.7 * sum, "hybrid={} sum={sum}", d.hybrid);
         // Round-robin is capped near 2x the slower medium.
         let two_min = 2.0 * d.plc_only.min(d.wifi_only);
         assert!(

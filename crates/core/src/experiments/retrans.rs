@@ -196,8 +196,7 @@ impl SensitivityTrace {
             return f64::NAN;
         };
         // Skip a settling window after activation, scaled to the trace.
-        let settle = (end.saturating_since(self.background_at) / 5)
-            .min(Duration::from_secs(20));
+        let settle = (end.saturating_since(self.background_at) / 5).min(Duration::from_secs(20));
         let mut before = simnet::stats::RunningStats::new();
         let mut after = simnet::stats::RunningStats::new();
         for &(t, v) in self.ble.points() {
@@ -255,10 +254,7 @@ pub fn sensitivity_run(
     let _bg_flow = sim.add_flow(Flow::unicast(
         background.0,
         background.1,
-        TrafficSource::new(
-            TrafficPattern::Saturated { pkt_bytes: 1500 },
-            background_at,
-        ),
+        TrafficSource::new(TrafficPattern::Saturated { pkt_bytes: 1500 }, background_at),
     ));
     let mut ble = Series::new(format!("BLE {}-{}", probe.0, probe.1));
     let mut pberr = Series::new(format!("PBerr {}-{}", probe.0, probe.1));
@@ -339,7 +335,9 @@ mod tests {
             .rows
             .iter()
             .map(|x| x.throughput)
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), t| (lo.min(t), hi.max(t)));
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), t| {
+                (lo.min(t), hi.max(t))
+            });
         assert!(
             spread.1 > 1.5 * spread.0.max(1.0),
             "throughputs span a range: {spread:?}"

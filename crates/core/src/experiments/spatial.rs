@@ -110,11 +110,8 @@ fn summarize_fig3(rows: Vec<PairMeasurement>) -> Fig3Result {
         .iter()
         .filter(|r| r.t_wifi > 0.5 && r.t_plc > 0.5)
         .count();
-    let plc_wins = rows
-        .iter()
-        .filter(|r| r.t_plc > r.t_wifi)
-        .count() as f64
-        / rows.len().max(1) as f64;
+    let plc_wins =
+        rows.iter().filter(|r| r.t_plc > r.t_wifi).count() as f64 / rows.len().max(1) as f64;
     let mut max_plc_gain: f64 = 0.0;
     let mut max_wifi_gain: f64 = 0.0;
     for r in rows.iter().filter(|r| r.t_wifi > 0.5 && r.t_plc > 0.5) {
@@ -155,11 +152,7 @@ pub fn measure_plc(
 ) -> (f64, f64) {
     let channel = env.plc_channel_tech(a, b, tech);
     // Skip hopeless links without burning simulation time.
-    if channel
-        .spectrum(PaperEnv::dir(a, b), start)
-        .mean_db()
-        < PLC_DEAD_SNR_DB
-    {
+    if channel.spectrum(PaperEnv::dir(a, b), start).mean_db() < PLC_DEAD_SNR_DB {
         return (0.0, 0.0);
     }
     let seed = 0x517A ^ ((a as u64) << 20) ^ ((b as u64) << 4);
@@ -246,11 +239,8 @@ pub fn fig6(env: &PaperEnv, scale: Scale) -> Fig6Result {
     let duration = scale.dur(Duration::from_secs(60), 20);
     let sample = Duration::from_millis(200);
     let start = Time::from_hours(11);
-    let mut pairs: Vec<(StationId, StationId)> = env
-        .plc_pairs()
-        .into_iter()
-        .filter(|(a, b)| a < b)
-        .collect();
+    let mut pairs: Vec<(StationId, StationId)> =
+        env.plc_pairs().into_iter().filter(|(a, b)| a < b).collect();
     pairs.truncate(scale.take(pairs.len(), 8));
     let mut rows = Vec::new();
     for (x, y) in pairs {

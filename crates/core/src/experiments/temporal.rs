@@ -465,13 +465,21 @@ mod tests {
         let best = hpav
             .iter()
             .max_by(|x, y| {
-                x.ble.stats().mean().partial_cmp(&y.ble.stats().mean()).unwrap()
+                x.ble
+                    .stats()
+                    .mean()
+                    .partial_cmp(&y.ble.stats().mean())
+                    .unwrap()
             })
             .expect("traces exist");
         let worst = hpav
             .iter()
             .min_by(|x, y| {
-                x.ble.stats().mean().partial_cmp(&y.ble.stats().mean()).unwrap()
+                x.ble
+                    .stats()
+                    .mean()
+                    .partial_cmp(&y.ble.stats().mean())
+                    .unwrap()
             })
             .expect("traces exist");
         assert!(best.ble.stats().mean() > worst.ble.stats().mean());

@@ -7,7 +7,10 @@ use serde::{Deserialize, Serialize};
 use simnet::time::Duration;
 
 /// One guideline row of Table 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Static policy text can be serialized (for reports) but not
+/// deserialized: `&'static str` has nowhere to borrow from.
+#[derive(Debug, Clone, Serialize)]
 pub struct Guideline {
     /// The policy name (Table 3, column "Policy").
     pub policy: &'static str,

@@ -13,12 +13,38 @@ use plc_phy::channel::{LinkDir, PlcChannel};
 use plc_phy::error::pb_error_prob;
 use plc_phy::estimation::{ChannelEstimator, EstimatorConfig, PB_BITS};
 use plc_phy::tonemap::{ToneMap, TONEMAP_SLOTS};
-use rand::rngs::StdRng;
 use plc_phy::SnrSpectrum;
+use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use simnet::obs::{Counter, Registry};
 use simnet::rng::Distributions;
 use simnet::time::{Duration, Time};
+
+/// Registry handles for the measurement loop's hot path. Incrementing is
+/// a cheap shared-cell add; nothing here feeds back into the measurement
+/// (observation is inert — see `simnet::obs`).
+struct ProbeMetrics {
+    frames: Counter,
+    events_fired: Counter,
+    pbs: Counter,
+    pb_errors: Counter,
+    regens: Counter,
+    resets: Counter,
+}
+
+impl ProbeMetrics {
+    fn register(reg: &Registry) -> Self {
+        ProbeMetrics {
+            frames: reg.counter("core.probe.frames"),
+            events_fired: reg.counter("sim.events_fired"),
+            pbs: reg.counter("core.probe.pbs"),
+            pb_errors: reg.counter("core.probe.pb_errors"),
+            regens: reg.counter("core.probe.tonemap_regens"),
+            resets: reg.counter("core.probe.resets"),
+        }
+    }
+}
 
 /// Outcome of pushing one frame through the link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,6 +81,7 @@ pub struct LinkProbeSim {
     /// moves on the cycle scale (~1 s), so caching is lossless in
     /// practice and makes week-long traces affordable.
     spec_cache: Vec<Option<(Time, SnrSpectrum)>>,
+    metrics: ProbeMetrics,
 }
 
 /// Spectrum cache lifetime.
@@ -72,6 +99,7 @@ impl LinkProbeSim {
             window: (0, 0),
             cumulative: (0, 0),
             spec_cache: vec![None; TONEMAP_SLOTS],
+            metrics: ProbeMetrics::register(simnet::obs::current().registry()),
         }
     }
 
@@ -102,6 +130,7 @@ impl LinkProbeSim {
     /// Factory-reset the devices on this link (paper §7.1 resets before
     /// convergence runs).
     pub fn reset(&mut self) {
+        self.metrics.resets.inc();
         self.est.reset();
         self.window = (0, 0);
         self.spec_cache = vec![None; TONEMAP_SLOTS];
@@ -168,7 +197,12 @@ impl LinkProbeSim {
         let regenerated = self.est.maybe_regenerate(t, recent);
         if regenerated {
             self.window = (0, 0);
+            self.metrics.regens.inc();
         }
+        self.metrics.frames.inc();
+        self.metrics.events_fired.inc();
+        self.metrics.pbs.add(pbs as u64);
+        self.metrics.pb_errors.add(pb_errors as u64);
         FrameOutcome {
             slot,
             ble_mbps: map.ble(),

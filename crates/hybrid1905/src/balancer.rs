@@ -153,6 +153,12 @@ pub fn combine_streams(
     total: usize,
     seed: u64,
 ) -> CombinedDelivery {
+    let obs = simnet::obs::current();
+    // Reorder-buffer residence time per packet (µs): how long an
+    // early-delivered packet waits for its in-order turn. Recording is a
+    // shared-cell add and never feeds back into the split (observation is
+    // inert — see `simnet::obs`).
+    let reorder_wait = obs.registry().histo("hybrid.balancer.reorder_wait_us");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut i = 0usize; // consumed from first
     let mut j = 0usize; // consumed from second
@@ -162,9 +168,7 @@ pub fn combine_streams(
     let mut last_release = Time::ZERO;
     for g in 0..total {
         let pick_first = match strategy {
-            SplitStrategy::Weighted { p_first } => {
-                Distributions::bernoulli(&mut rng, p_first)
-            }
+            SplitStrategy::Weighted { p_first } => Distributions::bernoulli(&mut rng, p_first),
             SplitStrategy::RoundRobin => g % 2 == 0,
         };
         let delivery = if pick_first {
@@ -180,6 +184,7 @@ pub fn combine_streams(
         match delivery {
             Some(d) => {
                 last_release = last_release.max(d);
+                reorder_wait.record(last_release.saturating_since(d).as_nanos() / 1_000);
                 release_times.push(last_release);
             }
             None => {
@@ -190,6 +195,14 @@ pub fn combine_streams(
                 break;
             }
         }
+    }
+    let reg = obs.registry();
+    reg.counter("hybrid.balancer.packets")
+        .add(release_times.len() as u64);
+    reg.counter("hybrid.balancer.undelivered").add(undelivered);
+    if total > 0 {
+        reg.gauge("hybrid.balancer.split_to_first")
+            .set(to_first as f64 / total as f64);
     }
     CombinedDelivery {
         release_times,
@@ -204,7 +217,9 @@ mod tests {
 
     /// A medium delivering one packet every `gap_ms` starting at t = 0.
     fn timeline(gap_ms: u64, n: usize) -> Vec<Time> {
-        (1..=n as u64).map(|k| Time::from_millis(k * gap_ms)).collect()
+        (1..=n as u64)
+            .map(|k| Time::from_millis(k * gap_ms))
+            .collect()
     }
 
     #[test]
@@ -227,16 +242,10 @@ mod tests {
         // Capacity-proportional split (3:1) should release at ~A+B rate.
         let a = timeline(1, 3000);
         let b = timeline(3, 1000);
-        let combined = combine_streams(
-            &a,
-            &b,
-            SplitStrategy::capacity_weighted(3.0, 1.0),
-            3500,
-            7,
-        );
+        let combined = combine_streams(&a, &b, SplitStrategy::capacity_weighted(3.0, 1.0), 3500, 7);
         assert_eq!(combined.undelivered, 0);
-        let rate = combined.release_times.len() as f64
-            / combined.completion_time().unwrap().as_secs_f64();
+        let rate =
+            combined.release_times.len() as f64 / combined.completion_time().unwrap().as_secs_f64();
         // Sum of rates = 1000 + 333 = 1333 pkt/s; allow slack for the
         // probabilistic split exhausting one side early.
         assert!(rate > 1100.0, "rate={rate} pkt/s");
@@ -247,8 +256,8 @@ mod tests {
         let a = timeline(1, 3000); // 1000 pkt/s
         let b = timeline(3, 1000); // 333 pkt/s
         let combined = combine_streams(&a, &b, SplitStrategy::RoundRobin, 2000, 7);
-        let rate = combined.release_times.len() as f64
-            / combined.completion_time().unwrap().as_secs_f64();
+        let rate =
+            combined.release_times.len() as f64 / combined.completion_time().unwrap().as_secs_f64();
         // Limited to ~2x the slow medium (666 pkt/s), far below A+B.
         assert!(
             (550.0..750.0).contains(&rate),
@@ -260,13 +269,7 @@ mod tests {
     fn releases_are_monotone_in_order() {
         let a = timeline(2, 500);
         let b = timeline(5, 200);
-        let combined = combine_streams(
-            &a,
-            &b,
-            SplitStrategy::Weighted { p_first: 0.7 },
-            600,
-            3,
-        );
+        let combined = combine_streams(&a, &b, SplitStrategy::Weighted { p_first: 0.7 }, 600, 3);
         for w in combined.release_times.windows(2) {
             assert!(w[1] >= w[0], "in-order release must be monotone");
         }
@@ -317,13 +320,8 @@ mod tests {
     fn round_robin_jitter_exceeds_weighted_on_asymmetric_links() {
         let a = timeline(1, 4000);
         let b = timeline(10, 400);
-        let weighted = combine_streams(
-            &a,
-            &b,
-            SplitStrategy::capacity_weighted(10.0, 1.0),
-            4000,
-            5,
-        );
+        let weighted =
+            combine_streams(&a, &b, SplitStrategy::capacity_weighted(10.0, 1.0), 4000, 5);
         let rr = combine_streams(&a, &b, SplitStrategy::RoundRobin, 780, 5);
         assert!(
             rr.jitter_ms() >= weighted.jitter_ms(),

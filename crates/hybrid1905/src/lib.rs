@@ -24,6 +24,7 @@
 //!   reordering), throughput/jitter accounting, and file-completion
 //!   times.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod balancer;

@@ -42,6 +42,33 @@ impl LinkId {
     }
 }
 
+// JSON object keys must be strings, so a `HashMap<LinkId, _>` needs an
+// explicit string form for its keys: `"src->dst/Medium"`.
+impl serde::MapKey for LinkId {
+    fn to_key(&self) -> String {
+        let medium = match self.medium {
+            Medium::Plc => "Plc",
+            Medium::Wifi => "Wifi",
+        };
+        format!("{}->{}/{}", self.src, self.dst, medium)
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::Error> {
+        let err = || serde::Error::msg(format!("invalid LinkId key: {s:?}"));
+        let (pair, medium) = s.split_once('/').ok_or_else(err)?;
+        let (src, dst) = pair.split_once("->").ok_or_else(err)?;
+        Ok(LinkId {
+            src: src.parse().map_err(|_| err())?,
+            dst: dst.parse().map_err(|_| err())?,
+            medium: match medium {
+                "Plc" => Medium::Plc,
+                "Wifi" => Medium::Wifi,
+                _ => return Err(err()),
+            },
+        })
+    }
+}
+
 /// One link-metric record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkMetric {

@@ -16,6 +16,11 @@ use serde::{Deserialize, Serialize};
 use simnet::time::Duration;
 use simnet::trace::Series;
 
+/// Wire size of one probe packet (the paper probes with 1500-byte UDP
+/// packets at 150 kb/s, §6.1) — used to convert probe counts into
+/// overhead bytes in the metrics registry.
+pub const PROBE_BYTES: u64 = 1500;
+
 /// A link-probing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ProbingPolicy {
@@ -139,6 +144,13 @@ pub fn evaluate_policy(policy: ProbingPolicy, traces: &[Series]) -> PolicyEvalua
             idx = j;
         }
     }
+    // Account the probing cost in the ambient metrics registry (inert
+    // bookkeeping; the evaluation itself is untouched).
+    let obs = simnet::obs::current();
+    let reg = obs.registry();
+    reg.counter("hybrid.probe.count").add(probes);
+    reg.counter("hybrid.probe.overhead_bytes")
+        .add(probes * PROBE_BYTES);
     PolicyEvaluation {
         errors_mbps: errors,
         probes,
@@ -234,7 +246,11 @@ mod tests {
             &[flat_series(100.0, 100)],
         );
         // ~1 probe per 5 link-seconds.
-        assert!((eval.probe_rate() - 0.2).abs() < 0.05, "{}", eval.probe_rate());
+        assert!(
+            (eval.probe_rate() - 0.2).abs() < 0.05,
+            "{}",
+            eval.probe_rate()
+        );
     }
 
     #[test]

@@ -106,13 +106,7 @@ impl Router {
 
     /// The minimum-ETT route from `src` to `dst` using any mix of
     /// mediums. `None` when no fresh-metric path exists.
-    pub fn best_route(
-        &self,
-        db: &LinkMetricsDb,
-        src: u16,
-        dst: u16,
-        now: Time,
-    ) -> Option<Route> {
+    pub fn best_route(&self, db: &LinkMetricsDb, src: u16, dst: u16, now: Time) -> Option<Route> {
         // Build the usable edge set.
         let mut edges: HashMap<u16, Vec<(LinkId, f64)>> = HashMap::new();
         for (link, metric) in db.links() {

@@ -27,6 +27,7 @@
 //!   PBerr in, UDP goodput out) used by long-horizon experiments where
 //!   frame-level simulation would be wasteful.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cco;

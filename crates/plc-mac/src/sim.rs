@@ -27,10 +27,41 @@ use plc_phy::{ChannelEstimator, PlcChannel, PlcTechnology, SnrSpectrum};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::grid::{Grid, NodeId};
+use simnet::obs::{Counter, Obs, Registry};
 use simnet::rng::Distributions;
 use simnet::time::{Duration, Time, BEACON_PERIOD};
 use simnet::traffic::TrafficSource;
 use std::collections::HashMap;
+
+/// Shared handles into the metrics registry for the MAC's hot paths.
+/// Registered once per simulation; incrementing is a cheap shared-cell
+/// add, and none of it feeds back into simulation state (observation is
+/// inert — see `simnet::obs`).
+struct MacMetrics {
+    steps: Counter,
+    events_fired: Counter,
+    csma_attempts: Counter,
+    csma_collisions: Counter,
+    csma_deferrals: Counter,
+    sack_retrans_pbs: Counter,
+    tonemap_updates: Counter,
+    sound_frames: Counter,
+}
+
+impl MacMetrics {
+    fn register(reg: &Registry) -> Self {
+        MacMetrics {
+            steps: reg.counter("plc.mac.steps"),
+            events_fired: reg.counter("sim.events_fired"),
+            csma_attempts: reg.counter("plc.mac.csma.attempts"),
+            csma_collisions: reg.counter("plc.mac.csma.collisions"),
+            csma_deferrals: reg.counter("plc.mac.csma.deferrals"),
+            sack_retrans_pbs: reg.counter("plc.mac.sack.retrans_pbs"),
+            tonemap_updates: reg.counter("plc.mac.tonemap.updates"),
+            sound_frames: reg.counter("plc.mac.sound_frames"),
+        }
+    }
+}
 
 /// Station identifier within a simulation (the paper numbers its stations
 /// 0–18).
@@ -43,7 +74,9 @@ pub const BROADCAST: StationId = StationId::MAX;
 /// that precede every contention period: when any station signals a
 /// higher class, lower-class stations sit the contention out. Best-effort
 /// data uses CA1; latency-sensitive streams CA2/CA3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Priority {
     /// Background.
     Ca0,
@@ -232,6 +265,8 @@ pub struct PlcSim {
     sniffer: Vec<SofRecord>,
     spectra: HashMap<(usize, usize, u8), CachedSpectrum>,
     n_carriers: usize,
+    obs: Obs,
+    metrics: MacMetrics,
 }
 
 impl PlcSim {
@@ -272,6 +307,8 @@ impl PlcSim {
         }
         let n_carriers = cfg.technology.carrier_count();
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let obs = simnet::obs::current();
+        let metrics = MacMetrics::register(obs.registry());
         PlcSim {
             cfg,
             now: Time::ZERO,
@@ -285,7 +322,16 @@ impl PlcSim {
             sniffer: Vec::new(),
             spectra: HashMap::new(),
             n_carriers,
+            obs,
+            metrics,
         }
+    }
+
+    /// Route this simulation's metrics and events to `obs` instead of the
+    /// ambient handle captured at construction.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.metrics = MacMetrics::register(obs.registry());
+        self.obs = obs;
     }
 
     /// Current simulation time.
@@ -342,7 +388,8 @@ impl PlcSim {
 
     /// Does a physical channel exist between two stations?
     pub fn connected(&self, a: StationId, b: StationId) -> bool {
-        self.channels.contains_key(&Self::pair(self.idx(a), self.idx(b)))
+        self.channels
+            .contains_key(&Self::pair(self.idx(a), self.idx(b)))
     }
 
     /// Cable distance between two stations, metres.
@@ -562,6 +609,8 @@ impl PlcSim {
     }
 
     fn step(&mut self, end: Time) {
+        self.metrics.steps.inc();
+        self.metrics.events_fired.inc();
         self.now = Self::skip_beacon_region(self.now);
         if self.now >= end {
             self.now = end;
@@ -595,6 +644,7 @@ impl PlcSim {
             self.now = Self::skip_beacon_region(next.max(self.now + Duration::from_micros(1)));
             return;
         }
+        self.metrics.csma_attempts.add(contenders.len() as u64);
         // Ensure backoff state.
         for &i in &contenders {
             if self.stations[i].backoff.is_none() {
@@ -603,7 +653,13 @@ impl PlcSim {
         }
         let m = contenders
             .iter()
-            .map(|&i| self.stations[i].backoff.as_ref().expect("set above").backoff_slots())
+            .map(|&i| {
+                self.stations[i]
+                    .backoff
+                    .as_ref()
+                    .expect("set above")
+                    .backoff_slots()
+            })
             .min()
             .expect("non-empty");
         let contention = timing::SLOT * (timing::PRS_SLOTS + m as u64);
@@ -624,7 +680,12 @@ impl PlcSim {
             .iter()
             .copied()
             .filter(|&i| {
-                self.stations[i].backoff.as_ref().expect("set").backoff_slots() == m
+                self.stations[i]
+                    .backoff
+                    .as_ref()
+                    .expect("set")
+                    .backoff_slots()
+                    == m
             })
             .collect();
         for &i in &contenders {
@@ -649,6 +710,7 @@ impl PlcSim {
                 if !winners.contains(&i) {
                     let st = self.stations[i].backoff.as_mut().expect("set");
                     st.on_busy(&mut self.rng);
+                    self.metrics.csma_deferrals.inc();
                 }
             }
         }
@@ -702,12 +764,15 @@ impl PlcSim {
             if rx.estimator.last_regen().is_some() {
                 rx.estimator.tonemaps().slots[slot].clone()
             } else {
+                // No estimate yet: the link sounds with ROBO frames.
+                self.metrics.sound_frames.inc();
                 ToneMap::robo(self.n_carriers)
             }
         };
         let bits_per_sym = map.info_bits_per_symbol();
         if bits_per_sym <= 0.0 {
             // Dead tone map: fall back to ROBO so the link can re-sound.
+            self.metrics.sound_frames.inc();
             let robo = ToneMap::robo(self.n_carriers);
             return self.drain_pbs(f, robo, budget);
         }
@@ -777,7 +842,11 @@ impl PlcSim {
             self.receive_unicast(f, src, dst, pbs, &map, slot, n_sym, degraded_to);
         }
         // Advance the medium: PRS and backoff already elapsed in step().
-        self.now += timing::PREAMBLE + duration + timing::RIFS + timing::PREAMBLE + timing::CIFS
+        self.now += timing::PREAMBLE
+            + duration
+            + timing::RIFS
+            + timing::PREAMBLE
+            + timing::CIFS
             + self.cfg.exchange_extra;
         if let Some(b) = self.stations[station].backoff.as_mut() {
             b.on_success(&mut self.rng);
@@ -814,7 +883,9 @@ impl PlcSim {
             }
         }
         let n_total = pbs.len() as u64;
-        // Corrupted PBs go back to the head of the queue, in order.
+        // Corrupted PBs go back to the head of the queue, in order. Their
+        // selective retransmission is what the SACK counter measures.
+        self.metrics.sack_retrans_pbs.add(n_err);
         for pb in failed.into_iter().rev() {
             self.flows[f].queue.push_front(pb);
         }
@@ -835,7 +906,8 @@ impl PlcSim {
             rx.ampstat.1 += n_err;
             rx.cumulative.0 += n_total;
             rx.cumulative.1 += n_err;
-            rx.last_observe.is_none_or(|t| now.saturating_since(t) >= gap)
+            rx.last_observe
+                .is_none_or(|t| now.saturating_since(t) >= gap)
         };
         if refresh_needed {
             // Snapshot the spectrum (degraded under capture: the receiver
@@ -848,7 +920,8 @@ impl PlcSim {
                 None => spec,
             };
             let rx = self.rx.get_mut(&(src, dst)).expect("created above");
-            rx.estimator.observe(&mut self.rng, slot, &spec, n_sym, pbs_len as u32);
+            rx.estimator
+                .observe(&mut self.rng, slot, &spec, n_sym, pbs_len as u32);
             rx.last_observe = Some(now);
         }
         // Tone-map maintenance.
@@ -860,6 +933,17 @@ impl PlcSim {
         };
         if rx.estimator.maybe_regenerate(now, recent) {
             rx.window = (0, 0);
+            self.metrics.tonemap_updates.inc();
+            let (src_id, dst_id) = (self.ids[src], self.ids[dst]);
+            let ble = self.rx[&(src, dst)].estimator.ble_avg();
+            self.obs.emit(now, "plc.mac", "tonemap_update", || {
+                vec![
+                    ("src".to_string(), src_id.into()),
+                    ("dst".to_string(), dst_id.into()),
+                    ("recent_pberr".to_string(), recent.into()),
+                    ("ble_mbps".to_string(), ble.into()),
+                ]
+            });
         }
     }
 
@@ -914,6 +998,12 @@ impl PlcSim {
 
     /// Two or more stations transmitted in the same slot.
     fn collide(&mut self, winners: &[usize], budget: Duration) {
+        self.metrics.csma_collisions.inc();
+        let t = self.now;
+        let n = winners.len();
+        self.obs.emit(t, "plc.mac", "collision", || {
+            vec![("stations".to_string(), n.into())]
+        });
         // Build all frames first (drains queues).
         let mut built: Vec<(usize, usize, Vec<QueuedPb>, ToneMap, u64, Duration)> = Vec::new();
         for &w in winners {
@@ -946,7 +1036,8 @@ impl PlcSim {
                 let dst = self.idx(self.flows[f].flow.dst);
                 // Interferer must dwarf this frame in duration, and the
                 // signal must dominate the interference at the receiver.
-                let dominated = longest as f64 >= self.cfg.capture_duration_ratio * dur.as_nanos() as f64;
+                let dominated =
+                    longest as f64 >= self.cfg.capture_duration_ratio * dur.as_nanos() as f64;
                 dominated && self.capture_sinr(src, dst, w) > self.cfg.capture_sinr_db
             };
             if captured {
@@ -978,7 +1069,11 @@ impl PlcSim {
                 b.on_collision(&mut self.rng);
             }
         }
-        self.now += timing::PREAMBLE + max_dur + timing::RIFS + timing::PREAMBLE + timing::CIFS
+        self.now += timing::PREAMBLE
+            + max_dur
+            + timing::RIFS
+            + timing::PREAMBLE
+            + timing::CIFS
             + self.cfg.exchange_extra;
     }
 

@@ -55,9 +55,7 @@ impl PlcTechnology {
     /// GreenPHY is restricted to the robust QPSK modes.
     pub fn max_modulation(self) -> crate::modulation::Modulation {
         match self {
-            PlcTechnology::HpAv | PlcTechnology::HpAv500 => {
-                crate::modulation::Modulation::Qam1024
-            }
+            PlcTechnology::HpAv | PlcTechnology::HpAv500 => crate::modulation::Modulation::Qam1024,
             PlcTechnology::GreenPhy => crate::modulation::Modulation::Qpsk,
         }
     }
@@ -164,10 +162,7 @@ mod tests {
         let gp = PlcTechnology::GreenPhy;
         assert_eq!(gp.carrier_count(), PlcTechnology::HpAv.carrier_count());
         assert_eq!(gp.band_end_mhz(), 30.0);
-        assert_eq!(
-            gp.max_modulation(),
-            crate::modulation::Modulation::Qpsk
-        );
+        assert_eq!(gp.max_modulation(), crate::modulation::Modulation::Qpsk);
         assert_eq!(
             PlcTechnology::HpAv.max_modulation(),
             crate::modulation::Modulation::Qam1024

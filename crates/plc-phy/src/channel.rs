@@ -518,7 +518,8 @@ impl PlcChannel {
                 im += amp * theta.sin();
             }
             let mp_db = (20.0 * (re * re + im * im).sqrt().max(1e-9).log10()).max(MAX_NULL_DB);
-            let atten_db = cable_db + transit_db_total + board_db + clutter_db + coupling_db - mp_db;
+            let atten_db =
+                cable_db + transit_db_total + board_db + clutter_db + coupling_db - mp_db;
             // Noise PSD at the receiver for this carrier.
             let floor_db = p.noise_floor_dbm_hz
                 + p.noise_lowfreq_db * (-f_mhz / p.noise_knee_mhz).exp()

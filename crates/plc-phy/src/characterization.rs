@@ -78,8 +78,8 @@ pub fn characterize(plan: &CarrierPlan, spectrum: &SnrSpectrum) -> ChannelCharac
         let mut bw = plan.freq_mhz(n - 1) - plan.freq_mhz(0);
         for lag in 1..n {
             let m = n - lag;
-            let corr: f64 = (0..m).map(|i| centered[i] * centered[i + lag]).sum::<f64>()
-                / (m as f64 * var);
+            let corr: f64 =
+                (0..m).map(|i| centered[i] * centered[i + lag]).sum::<f64>() / (m as f64 * var);
             if corr < 0.5 {
                 bw = lag as f64 * spacing;
                 break;
@@ -187,7 +187,11 @@ mod tests {
         .unwrap();
         let spec = ch.spectrum(LinkDir::AtoB, Time::from_hours(12));
         let c = characterize(ch.plan(), &spec);
-        assert!(c.freq_selectivity_db > 0.5, "selectivity={}", c.freq_selectivity_db);
+        assert!(
+            c.freq_selectivity_db > 0.5,
+            "selectivity={}",
+            c.freq_selectivity_db
+        );
         assert!(
             c.coherence_bw_mhz < 28.2,
             "a loaded line cannot be coherent across the whole band: {}",

@@ -158,7 +158,12 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let draws: usize = (0..2000)
-            .map(|_| draw_pb_errors(&mut rng, 3, 0.2).iter().filter(|e| **e).count())
+            .map(|_| {
+                draw_pb_errors(&mut rng, 3, 0.2)
+                    .iter()
+                    .filter(|e| **e)
+                    .count()
+            })
             .sum();
         let frac = draws as f64 / 6000.0;
         assert!((frac - 0.2).abs() < 0.03, "frac={frac}");

@@ -157,12 +157,30 @@ impl EstimatorConfig {
     }
 }
 
+/// Lifetime counters of a [`ChannelEstimator`]: how often it was reset,
+/// how many frames it measured, and how many tone-map regenerations it
+/// performed (split out by error-triggered ones). Pure bookkeeping — the
+/// counters never influence estimation, so observation stays inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EstimatorStats {
+    /// Factory resets ([`ChannelEstimator::reset`]); survives the reset.
+    pub resets: u64,
+    /// Frames ingested via [`ChannelEstimator::observe`].
+    pub observations: u64,
+    /// Tone-map regenerations (the convergence iterations of Fig. 16).
+    pub regenerations: u64,
+    /// Regenerations triggered by the PB-error threshold rather than
+    /// expiry or bootstrap.
+    pub error_regenerations: u64,
+}
+
 /// Per-link-direction channel estimator, owned by the *destination*
 /// station, which measures sound/data frames and returns tone maps to the
 /// source (paper §2.1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChannelEstimator {
     cfg: EstimatorConfig,
+    stats: EstimatorStats,
     n_carriers: usize,
     /// Per-slot, per-carrier SNR estimates (dB).
     snr_est: Vec<Vec<f64>>,
@@ -186,6 +204,7 @@ impl ChannelEstimator {
     pub fn new(cfg: EstimatorConfig, n_carriers: usize) -> Self {
         ChannelEstimator {
             cfg,
+            stats: EstimatorStats::default(),
             n_carriers,
             snr_est: vec![vec![0.0; n_carriers]; TONEMAP_SLOTS],
             weight: vec![0.0; TONEMAP_SLOTS],
@@ -198,9 +217,18 @@ impl ChannelEstimator {
     }
 
     /// Factory reset (the paper resets devices before the Fig. 16/18
-    /// convergence experiments).
+    /// convergence experiments). Lifetime counters survive the reset —
+    /// and record it.
     pub fn reset(&mut self) {
+        let mut stats = self.stats;
+        stats.resets += 1;
         *self = ChannelEstimator::new(self.cfg, self.n_carriers);
+        self.stats = stats;
+    }
+
+    /// Lifetime counters (resets, observations, regenerations).
+    pub fn stats(&self) -> EstimatorStats {
+        self.stats
     }
 
     /// Configuration in use.
@@ -257,7 +285,11 @@ impl ChannelEstimator {
             if s != slot && self.weight[s] >= 0.3 * self.cfg.tracking_cap {
                 continue;
             }
-            let (uw, us) = if s == slot { (w, sigma) } else { (0.25 * w, sigma * 2.0) };
+            let (uw, us) = if s == slot {
+                (w, sigma)
+            } else {
+                (0.25 * w, sigma * 2.0)
+            };
             let total = self.weight[s] + uw;
             for (est, &truth) in self.snr_est[s].iter_mut().zip(&true_spectrum.snr_db) {
                 let meas = truth + Distributions::normal(rng, 0.0, us);
@@ -267,6 +299,7 @@ impl ChannelEstimator {
         }
         self.total_weight += w;
         self.max_pbs_seen = self.max_pbs_seen.max(n_pbs);
+        self.stats.observations += 1;
     }
 
     /// Effective margin: base margin plus the bootstrap margin scaled down
@@ -289,8 +322,7 @@ impl ChannelEstimator {
                 } else {
                     self.cfg.expiry
                 };
-                now.saturating_since(t0) >= expiry
-                    || recent_pberr > self.cfg.pberr_threshold
+                now.saturating_since(t0) >= expiry || recent_pberr > self.cfg.pberr_threshold
             }
         }
     }
@@ -313,6 +345,10 @@ impl ChannelEstimator {
     /// Unconditionally regenerate the tone maps from the current SNR
     /// estimates.
     pub fn regenerate(&mut self, now: Time, error_triggered: bool) {
+        self.stats.regenerations += 1;
+        if error_triggered {
+            self.stats.error_regenerations += 1;
+        }
         let mut margin = self.effective_margin();
         if error_triggered {
             // React to errors: step the margin up a little...
@@ -442,7 +478,11 @@ mod tests {
             "last={last_ble} ideal={ideal}"
         );
         // Convergence from below: early estimates are lower.
-        assert!(bles[0] < last_ble * 0.9, "first={} last={last_ble}", bles[0]);
+        assert!(
+            bles[0] < last_ble * 0.9,
+            "first={} last={last_ble}",
+            bles[0]
+        );
     }
 
     #[test]
@@ -537,7 +577,11 @@ mod tests {
         // Larger frames lift the cap.
         e.observe(&mut rng, 0, &spec, 4, 8);
         e.regenerate(Time::from_secs(131), false);
-        assert!(e.ble_avg() > r1sym * 1.05, "cap should lift: {}", e.ble_avg());
+        assert!(
+            e.ble_avg() > r1sym * 1.05,
+            "cap should lift: {}",
+            e.ble_avg()
+        );
     }
 
     #[test]
@@ -630,6 +674,25 @@ mod tests {
         let ble = e.ble_avg();
         // HS-ROBO: 917 carriers x 2 bits x 1/2 rate / 2 repetition.
         assert!((8.0..11.0).contains(&ble), "greenphy ble={ble}");
+    }
+
+    #[test]
+    fn stats_count_lifecycle_and_survive_reset() {
+        let mut e = estimator();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            e.observe(&mut rng, 0, &flat_spectrum(25.0), 10, 8);
+        }
+        e.regenerate(Time::from_secs(1), false);
+        e.regenerate(Time::from_secs(2), true);
+        e.reset();
+        let s = e.stats();
+        assert_eq!(s.observations, 5);
+        assert_eq!(s.regenerations, 2);
+        assert_eq!(s.error_regenerations, 1);
+        assert_eq!(s.resets, 1);
+        // The estimate itself did reset.
+        assert_eq!(e.total_weight(), 0.0);
     }
 
     #[test]

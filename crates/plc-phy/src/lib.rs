@@ -30,6 +30,7 @@
 //!   (selectivity, notches, coherence bandwidth, delay spread): the
 //!   channel-sounding view behind the §5 multipath discussion.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod carrier;
@@ -42,6 +43,6 @@ pub mod tonemap;
 
 pub use carrier::{CarrierPlan, PlcTechnology};
 pub use channel::{PlcChannel, SnrSpectrum};
-pub use estimation::ChannelEstimator;
+pub use estimation::{ChannelEstimator, EstimatorStats};
 pub use modulation::Modulation;
 pub use tonemap::{Ble, ToneMap, ToneMapSet, TONEMAP_SLOTS};

@@ -56,7 +56,13 @@ impl ToneMap {
     /// Build a data tone map from per-carrier SNR estimates: each carrier
     /// gets the most aggressive modulation it supports after a safety
     /// `margin_db`.
-    pub fn from_snr(snr_db: &[f64], margin_db: f64, fec: FecRate, design_pberr: f64, id: u32) -> Self {
+    pub fn from_snr(
+        snr_db: &[f64],
+        margin_db: f64,
+        fec: FecRate,
+        design_pberr: f64,
+        id: u32,
+    ) -> Self {
         ToneMap {
             carriers: snr_db
                 .iter()

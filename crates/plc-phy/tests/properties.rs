@@ -138,7 +138,13 @@ fn spectra_finite_on_random_grids() {
             let o = g.add_outlet(format!("o{k}"));
             g.connect(j, o, 1.0 + (k as f64 % 4.0));
             let kind = ApplianceKind::ALL[(seed as usize + k) % ApplianceKind::ALL.len()];
-            g.attach(o, kind, Schedule::OfficeHours { seed: seed ^ k as u64 });
+            g.attach(
+                o,
+                kind,
+                Schedule::OfficeHours {
+                    seed: seed ^ k as u64,
+                },
+            );
             prev = j;
         }
         let b = g.add_outlet("b");

@@ -6,9 +6,25 @@
 //! delivered in FIFO order of scheduling, which keeps runs bit-for-bit
 //! reproducible regardless of payload contents.
 
+use crate::obs::Registry;
 use crate::time::Time;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Lifetime statistics of an [`EventQueue`]: how much work it has done
+/// and how deep its heap has grown. Tracked unconditionally (three
+/// integer updates per operation) so observability never changes queue
+/// behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventQueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events popped (fired).
+    pub fired: u64,
+    /// Maximum number of simultaneously pending events.
+    pub high_water: u64,
+}
 
 /// An event popped from the queue: when it fires and what it carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +83,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Time,
+    stats: EventQueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -82,7 +99,31 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
+            stats: EventQueueStats::default(),
         }
+    }
+
+    /// Scheduled/fired counts and heap high-water mark so far.
+    pub fn stats(&self) -> EventQueueStats {
+        self.stats
+    }
+
+    /// Publish the queue's statistics into `registry` under
+    /// `<prefix>.scheduled` / `.fired` / `.high_water`, plus the shared
+    /// `sim.events_fired` counter that run manifests report. Counters are
+    /// advanced by the delta since the registry last saw this queue, so
+    /// periodic republishing is safe.
+    pub fn publish_stats(&self, registry: &Registry, prefix: &str) {
+        let s = self.stats;
+        for (suffix, value) in [("scheduled", s.scheduled), ("fired", s.fired)] {
+            let c = registry.counter(&format!("{prefix}.{suffix}"));
+            c.add(value.saturating_sub(c.get()));
+        }
+        registry
+            .gauge(&format!("{prefix}.high_water"))
+            .set_max(s.high_water as f64);
+        let fired = registry.counter("sim.events_fired");
+        fired.add(s.fired.saturating_sub(fired.get()));
     }
 
     /// The current simulation time: the firing time of the most recently
@@ -104,6 +145,8 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.stats.scheduled += 1;
+        self.stats.high_water = self.stats.high_water.max(self.heap.len() as u64);
         seq
     }
 
@@ -112,6 +155,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.heap.pop().map(|e| {
             self.now = e.at;
+            self.stats.fired += 1;
             ScheduledEvent {
                 at: e.at,
                 seq: e.seq,
@@ -227,6 +271,30 @@ mod tests {
             assert_eq!(pair[0].0, 0);
             assert_eq!(pair[1].0, 1);
         }
+    }
+
+    #[test]
+    fn stats_track_work_and_high_water() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1), ());
+        q.schedule(Time::from_secs(2), ());
+        q.schedule(Time::from_secs(3), ());
+        q.pop();
+        q.pop();
+        q.schedule(Time::from_secs(4), ());
+        let s = q.stats();
+        assert_eq!(s.scheduled, 4);
+        assert_eq!(s.fired, 2);
+        assert_eq!(s.high_water, 3);
+
+        let reg = crate::obs::Registry::new();
+        q.publish_stats(&reg, "simnet.queue");
+        // Republishing must not double-count.
+        q.publish_stats(&reg, "simnet.queue");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("simnet.queue.scheduled"), 4);
+        assert_eq!(snap.counter("simnet.queue.fired"), 2);
+        assert_eq!(snap.counter("sim.events_fired"), 2);
     }
 
     #[test]

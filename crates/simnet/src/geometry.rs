@@ -176,7 +176,10 @@ mod tests {
     fn floor_accumulates_wall_attenuation() {
         let mut floor = Floor::new(70.0, 40.0);
         floor.add_wall(Wall::drywall(Point::new(5.0, 0.0), Point::new(5.0, 40.0)));
-        floor.add_wall(Wall::concrete(Point::new(10.0, 0.0), Point::new(10.0, 40.0)));
+        floor.add_wall(Wall::concrete(
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 40.0),
+        ));
         let a = Point::new(0.0, 20.0);
         let b = Point::new(15.0, 20.0);
         assert_eq!(floor.walls_crossed(a, b), 2);

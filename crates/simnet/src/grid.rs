@@ -435,7 +435,10 @@ mod tests {
         let p = g.shortest_path(board, o1).unwrap();
         let discs = g.discontinuities(&p, 50.0);
         // j1 has a side branch toward o2 carrying the fridge.
-        let dj = discs.iter().find(|d| d.node == j1).expect("j1 discontinuity");
+        let dj = discs
+            .iter()
+            .find(|d| d.node == j1)
+            .expect("j1 discontinuity");
         assert_eq!(dj.off_path_branches, 1);
         assert_eq!(dj.appliances.len(), 1);
         let (aid, extra) = dj.appliances[0];

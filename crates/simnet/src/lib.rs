@@ -23,11 +23,14 @@
 //! * [`stats`] — running statistics, ECDFs, linear fits and correlations
 //!   used throughout the measurement analysis.
 //! * [`trace`] — time-series capture utilities for experiment outputs.
+//! * [`obs`] — sim-time observability: a metrics registry, a structured
+//!   event log, and run manifests, guaranteed never to perturb a run.
 //!
 //! The design follows the smoltcp idiom: synchronous, event-driven,
 //! allocation-conscious, with no async runtime — the whole system is a
 //! deterministic simulator.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod appliance;
@@ -35,6 +38,7 @@ pub mod event;
 pub mod geometry;
 pub mod grid;
 pub mod noise;
+pub mod obs;
 pub mod rng;
 pub mod schedule;
 pub mod stats;
@@ -42,6 +46,7 @@ pub mod time;
 pub mod trace;
 pub mod traffic;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, EventQueueStats, ScheduledEvent};
+pub use obs::{MetricsSnapshot, Obs, ObsEvent, ObsSink, Registry, RunManifest};
 pub use rng::{Distributions, RngPool};
 pub use time::{Duration, Time};

@@ -153,7 +153,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = ValueNoise::new(1);
         let b = ValueNoise::new(2);
-        let same = (0..100).filter(|&i| a.eval(i as f64) == b.eval(i as f64)).count();
+        let same = (0..100)
+            .filter(|&i| a.eval(i as f64) == b.eval(i as f64))
+            .count();
         assert!(same < 5);
     }
 

@@ -1,0 +1,776 @@
+//! Sim-time observability: metrics registry, structured event log, and
+//! run manifests.
+//!
+//! The paper is a measurement study — its contribution is reading link
+//! metrics out of a running network — and this module gives the simulator
+//! of that network the same property: counters, gauges and histograms
+//! registered by every layer ([`Registry`]), a structured sim-time event
+//! log behind the [`ObsSink`] trait, and a [`RunManifest`] record that
+//! experiment runners serialize next to their outputs.
+//!
+//! Everything here is hand-rolled (like [`crate::rng`]) because the build
+//! environment has no crates-io access: no `tracing`, `metrics` or `log`.
+//!
+//! ## The inertness invariant
+//!
+//! Observation must never perturb a run. Nothing in this module draws
+//! randomness, reorders events, or feeds back into simulation state: the
+//! same seed with a sink attached or detached produces bit-identical
+//! experiment outputs, and two same-seed runs produce identical
+//! [`MetricsSnapshot`]s and event logs. Workspace integration tests
+//! enforce this.
+//!
+//! ## Wiring
+//!
+//! Components pick up the ambient [`Obs`] handle ([`current`]) when they
+//! are constructed, register their instruments, and hold cheap shared
+//! handles ([`Counter`], [`Gauge`], [`Histo`]). Runners that want
+//! observability install a handle with [`with_default`] (or attach one
+//! explicitly via a sim's `attach_obs` method) and snapshot the registry
+//! when the run completes. The default ambient handle is disabled: no
+//! sink, and a throwaway registry.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::io;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter (events, frames, retransmissions).
+///
+/// Cloning shares the underlying value; increments through any clone are
+/// visible in the registry snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge holding the latest value of some level (queue depth, split
+/// ratio, heap high-water mark).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Set the gauge if `v` exceeds the current value (high-water marks).
+    pub fn set_max(&self, v: f64) {
+        if v > self.0.get() {
+            self.0.set(v);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`, so 64 powers of two cover all of `u64`.
+const HISTO_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistoInner {
+    buckets: RefCell<[u64; HISTO_BUCKETS]>,
+    count: Cell<u64>,
+    sum: Cell<u64>,
+}
+
+/// A histogram over `u64` samples with fixed log-spaced (power-of-two)
+/// buckets — A-MPDU sizes, burst lengths, buffer occupancies.
+#[derive(Debug, Clone)]
+pub struct Histo(Rc<HistoInner>);
+
+impl Default for Histo {
+    fn default() -> Self {
+        Histo(Rc::new(HistoInner {
+            buckets: RefCell::new([0; HISTO_BUCKETS]),
+            count: Cell::new(0),
+            sum: Cell::new(0),
+        }))
+    }
+}
+
+impl Histo {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.0.buckets.borrow_mut()[idx] += 1;
+        self.0.count.set(self.0.count.get() + 1);
+        self.0.sum.set(self.0.sum.get().wrapping_add(v));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.get()
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.get()
+    }
+
+    fn snapshot(&self) -> HistoSnapshot {
+        let buckets = self.0.buckets.borrow();
+        let filled = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                // Inclusive upper bound of bucket i: 0 for the zero
+                // bucket, 2^i - 1 otherwise (saturating at u64::MAX).
+                let le = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                (le, c)
+            })
+            .collect();
+        HistoSnapshot {
+            count: self.0.count.get(),
+            sum: self.0.sum.get(),
+            buckets: filled,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry and snapshots
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histos: Vec<(String, Histo)>,
+}
+
+/// A registry of named instruments.
+///
+/// Cloning shares the registry. Registering the same name twice returns a
+/// handle to the same underlying instrument, so independent components
+/// can contribute to one series (e.g. `sim.events_fired`).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histo(&self, name: &str) -> Histo {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, h)) = inner.histos.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histo::default();
+        inner.histos.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Deterministic snapshot of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, f64)> = inner
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histos: Vec<(String, HistoSnapshot)> = inner
+            .histos
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        histos.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histos,
+        }
+    }
+}
+
+/// Point-in-time state of a [`Histo`]: only non-empty buckets, as
+/// `(inclusive upper bound, count)` pairs in ascending bound order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// `(le, count)` pairs for non-empty buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A deterministic, name-sorted snapshot of a [`Registry`].
+///
+/// Two same-seed runs of the same experiment produce byte-identical
+/// serialized snapshots — enforced by workspace integration tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states by name.
+    pub histos: Vec<(String, HistoSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histos: Vec::new(),
+        }
+    }
+
+    /// Value of the counter `name`, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log
+// ---------------------------------------------------------------------------
+
+/// A field value in a structured event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One sim-time-stamped structured record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsEvent {
+    /// Simulation time of the event.
+    pub t: Time,
+    /// Emitting component (`"plc.mac"`, `"wifi.rate"`, ...).
+    pub component: String,
+    /// Event kind within the component (`"collision"`, `"tonemap"`, ...).
+    pub kind: String,
+    /// Named payload fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Consumer of structured events.
+pub trait ObsSink {
+    /// Handle one event.
+    fn record(&mut self, ev: &ObsEvent);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// A sink that discards everything. An [`Obs`] with no sink at all skips
+/// event construction entirely; this type exists for call sites that
+/// require *some* sink value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    fn record(&mut self, _ev: &ObsEvent) {}
+}
+
+/// A bounded ring buffer keeping the most recent events.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<ObsEvent>,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl ObsSink for RingSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev.clone());
+    }
+}
+
+/// A sink that writes one JSON object per line to any [`io::Write`].
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+    /// Write errors are counted, not propagated: a failing log must not
+    /// abort (or otherwise perturb) a simulation.
+    errors: u64,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Sink writing JSONL to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, errors: 0 }
+    }
+
+    /// Number of failed writes.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Consume the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: io::Write> ObsSink for JsonlSink<W> {
+    fn record(&mut self, ev: &ObsEvent) {
+        let line = serde_json::to_string(ev).unwrap_or_default();
+        if writeln!(self.out, "{line}").is_err() {
+            self.errors += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Obs handle
+// ---------------------------------------------------------------------------
+
+/// Shared observability handle: a metrics [`Registry`] plus an optional
+/// event sink. Cloning shares both.
+#[derive(Clone, Default)]
+pub struct Obs {
+    registry: Registry,
+    sink: Option<Rc<RefCell<dyn ObsSink>>>,
+}
+
+impl Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("registry", &self.registry)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn ObsSink"))
+            .finish()
+    }
+}
+
+impl Obs {
+    /// Metrics-only handle (no event sink; [`Obs::emit`] is a no-op that
+    /// never constructs its fields).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ambient default: metrics land in a throwaway registry and
+    /// events are skipped.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Handle with an owned event sink.
+    pub fn with_sink<S: ObsSink + 'static>(sink: S) -> Self {
+        Obs {
+            registry: Registry::new(),
+            sink: Some(Rc::new(RefCell::new(sink))),
+        }
+    }
+
+    /// Handle sharing an existing sink, letting the caller keep a typed
+    /// reference (e.g. to read a [`RingSink`] back after the run).
+    pub fn with_sink_handle<S: ObsSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        Obs {
+            registry: Registry::new(),
+            sink: Some(sink),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// True when an event sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit a structured event. `fields` is only invoked when a sink is
+    /// attached, so instrumentation points pay nothing when disabled.
+    pub fn emit<F>(&self, t: Time, component: &str, kind: &str, fields: F)
+    where
+        F: FnOnce() -> Vec<(String, FieldValue)>,
+    {
+        if let Some(sink) = &self.sink {
+            let ev = ObsEvent {
+                t,
+                component: component.to_string(),
+                kind: kind.to_string(),
+                fields: fields(),
+            };
+            sink.borrow_mut().record(&ev);
+        }
+    }
+
+    /// Flush the sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Obs> = RefCell::new(Obs::disabled());
+}
+
+/// The ambient observability handle components pick up at construction.
+pub fn current() -> Obs {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Replace the ambient handle (returns the previous one).
+pub fn set_default(obs: Obs) -> Obs {
+    CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), obs))
+}
+
+/// Run `f` with `obs` as the ambient handle, restoring the previous
+/// handle afterwards.
+pub fn with_default<T>(obs: Obs, f: impl FnOnce() -> T) -> T {
+    let prev = set_default(obs);
+    let out = f();
+    set_default(prev);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Run manifests
+// ---------------------------------------------------------------------------
+
+/// What one experiment run did: written as `out/<name>.manifest.json` by
+/// every figure binary (see `bench::RunGuard`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Run name (usually the figure, e.g. `"fig16"`).
+    pub name: String,
+    /// Top-level seed of the run.
+    pub seed: u64,
+    /// FNV-1a digest of the run configuration's `Debug` form.
+    pub config_digest: String,
+    /// Scale label (`"quick"` / `"paper"`).
+    pub scale: String,
+    /// Simulated horizon in seconds (0 when not applicable).
+    pub sim_horizon_s: f64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_clock_s: f64,
+    /// Simulation events fired (the registry's `sim.events_fired`).
+    pub events_fired: u64,
+    /// Final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Simulation events fired per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_clock_s > 0.0 {
+            self.events_fired as f64 / self.wall_clock_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// FNV-1a digest of a configuration's `Debug` rendering, as fixed-width
+/// hex. Cheap, dependency-free, and stable for the deterministic configs
+/// used here — sufficient to tell two runs' configurations apart.
+pub fn config_digest<C: Debug>(config: &C) -> String {
+    let text = format!("{config:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shared_and_snapshotted_sorted() {
+        let reg = Registry::new();
+        let a = reg.counter("z.last");
+        let b = reg.counter("a.first");
+        let a2 = reg.counter("z.last");
+        a.inc();
+        a2.add(2);
+        b.inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_string(), 1), ("z.last".to_string(), 3)]
+        );
+        assert_eq!(snap.counter("z.last"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histo_buckets_are_log_spaced() {
+        let reg = Registry::new();
+        let h = reg.histo("sizes");
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histos[0].1;
+        assert_eq!(hs.count, 7);
+        // 0 -> le 0; 1 -> le 1; 2,3 -> le 3; 4 -> le 7; 1024 -> le 2047;
+        // u64::MAX -> le u64::MAX.
+        assert_eq!(
+            hs.buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 1), (2047, 1), (u64::MAX, 1)]
+        );
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts_drops() {
+        let mut ring = RingSink::new(2);
+        let ev = |k: &str| ObsEvent {
+            t: Time(0),
+            component: "test".into(),
+            kind: k.into(),
+            fields: Vec::new(),
+        };
+        ring.record(&ev("a"));
+        ring.record(&ev("b"));
+        ring.record(&ev("c"));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let kinds: Vec<&str> = ring.events().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn disabled_obs_never_builds_fields() {
+        let obs = Obs::disabled();
+        let mut called = false;
+        obs.emit(Time(5), "c", "k", || {
+            called = true;
+            Vec::new()
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = Rc::new(RefCell::new(JsonlSink::new(buf)));
+        let obs = Obs::with_sink_handle(sink.clone());
+        obs.emit(Time(7), "plc.mac", "collision", || {
+            vec![("contenders".to_string(), FieldValue::U64(3))]
+        });
+        obs.emit(Time(9), "plc.mac", "sack", Vec::new);
+        obs.flush();
+        drop(obs);
+        let sink = Rc::try_unwrap(sink).expect("no other handles after drop");
+        let text = String::from_utf8(sink.into_inner().into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"collision\""));
+        assert!(lines[0].contains("\"t\":7"));
+    }
+
+    #[test]
+    fn with_default_scopes_the_ambient_handle() {
+        let obs = Obs::new();
+        let c = obs.registry().counter("scoped");
+        with_default(obs.clone(), || {
+            current().registry().counter("scoped").inc();
+        });
+        assert_eq!(c.get(), 1);
+        // Outside the scope, the ambient handle is the disabled default
+        // again — increments land in a different registry.
+        current().registry().counter("scoped").inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_serialization_is_deterministic() {
+        let mk = || {
+            let reg = Registry::new();
+            reg.counter("b").add(2);
+            reg.counter("a").inc();
+            reg.gauge("g").set(0.5);
+            reg.histo("h").record(10);
+            serde_json::to_string(&reg.snapshot()).expect("serialize")
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn config_digest_distinguishes_configs() {
+        assert_eq!(config_digest(&(1u32, 2u32)), config_digest(&(1u32, 2u32)));
+        assert_ne!(config_digest(&(1u32, 2u32)), config_digest(&(2u32, 1u32)));
+        assert_eq!(config_digest(&1u8).len(), 16);
+    }
+}

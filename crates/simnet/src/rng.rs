@@ -182,9 +182,7 @@ impl Distributions {
             }
         }
         // Floating-point slack: return the last positive-weight index.
-        weights
-            .iter()
-            .rposition(|w| w.is_finite() && *w > 0.0)
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
     }
 }
 
@@ -243,7 +241,8 @@ impl GaussMarkov {
         debug_assert!(dt_s >= 0.0);
         let rho = (-dt_s / self.corr_time_s).exp();
         let innovation = (1.0 - rho * rho).max(0.0).sqrt() * self.sigma;
-        self.state = self.mean + rho * (self.state - self.mean)
+        self.state = self.mean
+            + rho * (self.state - self.mean)
             + innovation * Distributions::std_normal(rng);
         self.state
     }
@@ -354,10 +353,7 @@ mod tests {
         let mut r = pool.stream("w");
         assert_eq!(Distributions::weighted_index(&mut r, &[]), None);
         assert_eq!(Distributions::weighted_index(&mut r, &[0.0, 0.0]), None);
-        assert_eq!(
-            Distributions::weighted_index(&mut r, &[0.0, 2.0]),
-            Some(1)
-        );
+        assert_eq!(Distributions::weighted_index(&mut r, &[0.0, 2.0]), Some(1));
     }
 
     #[test]
@@ -372,8 +368,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| gm.step(&mut r, 1.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let std =
-            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!((mean - 10.0).abs() < 0.15, "mean={mean}");
         assert!((std - 1.5).abs() < 0.15, "std={std}");
     }

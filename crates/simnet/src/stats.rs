@@ -197,10 +197,7 @@ impl LinearFit {
     }
 
     /// Residuals of the fit against the given points.
-    pub fn residuals<'a>(
-        &'a self,
-        points: &'a [(f64, f64)],
-    ) -> impl Iterator<Item = f64> + 'a {
+    pub fn residuals<'a>(&'a self, points: &'a [(f64, f64)]) -> impl Iterator<Item = f64> + 'a {
         points.iter().map(move |&(x, y)| y - self.predict(x))
     }
 }

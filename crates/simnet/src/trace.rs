@@ -17,6 +17,8 @@ pub struct Series {
     pub name: String,
     /// Samples in non-decreasing time order (enforced on push).
     points: Vec<(Time, f64)>,
+    /// Out-of-order samples rejected by [`Series::push`].
+    dropped: u64,
 }
 
 impl Series {
@@ -25,20 +27,34 @@ impl Series {
         Series {
             name: name.into(),
             points: Vec::new(),
+            dropped: 0,
         }
     }
 
     /// Append a sample. Samples must arrive in non-decreasing time order;
-    /// out-of-order pushes panic in debug builds and are dropped in
-    /// release builds.
+    /// out-of-order pushes panic in debug builds. In release builds they
+    /// are rejected — but never silently: the rejection is counted on the
+    /// series ([`Series::dropped`]) and in the ambient metrics registry
+    /// (`simnet.trace.dropped`), so experiments can assert no data was
+    /// lost.
     pub fn push(&mut self, t: Time, value: f64) {
         if let Some(&(last, _)) = self.points.last() {
             debug_assert!(t >= last, "out-of-order sample at {t:?} after {last:?}");
             if t < last {
+                self.dropped += 1;
+                crate::obs::current()
+                    .registry()
+                    .counter("simnet.trace.dropped")
+                    .inc();
                 return;
             }
         }
         self.points.push((t, value));
+    }
+
+    /// Number of out-of-order samples rejected by [`Series::push`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of samples.
@@ -206,6 +222,24 @@ mod tests {
         s.push(Time::from_secs(7), 49.0); // change after 5 s
         let gaps = s.change_interarrivals(0.5);
         assert_eq!(gaps, vec![Duration::from_secs(2), Duration::from_secs(5)]);
+    }
+
+    // The out-of-order path debug_asserts, so its counting behaviour is
+    // only observable in release builds (`cargo test --release`).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn out_of_order_pushes_are_counted() {
+        let obs = crate::obs::Obs::new();
+        let dropped = crate::obs::with_default(obs.clone(), || {
+            let mut s = Series::new("x");
+            s.push(Time::from_secs(5), 1.0);
+            s.push(Time::from_secs(3), 2.0); // out of order: rejected
+            s.push(Time::from_secs(6), 3.0);
+            assert_eq!(s.len(), 2);
+            s.dropped()
+        });
+        assert_eq!(dropped, 1);
+        assert_eq!(obs.registry().snapshot().counter("simnet.trace.dropped"), 1);
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl TrafficSource {
             TrafficPattern::Saturated { .. } | TrafficPattern::FileTransfer { .. } => {
                 self.next_at = now;
             }
-            TrafficPattern::Cbr { rate_bps, pkt_bytes } => {
+            TrafficPattern::Cbr {
+                rate_bps,
+                pkt_bytes,
+            } => {
                 // Pure pacing: the release clock advances by one gap per
                 // packet without snapping to `now`, so a source that was
                 // starved by a busy medium catches up afterwards (iperf
@@ -252,7 +255,10 @@ mod tests {
         assert!(s.take(Time::from_millis(79)).is_none());
         assert!(s.ready(Time::from_millis(80)));
         s.take(Time::from_millis(80)).unwrap();
-        assert_eq!(s.next_arrival(Time::from_millis(80)), Some(Time::from_millis(160)));
+        assert_eq!(
+            s.next_arrival(Time::from_millis(80)),
+            Some(Time::from_millis(160))
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! space heaters). Appliances drive both spatial variation (impedance
 //! taps) and temporal variation (schedules, noise), per §5 and §6.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use plc_phy::channel::{LinkDir, PlcChannel, PlcChannelParams};
@@ -556,8 +557,7 @@ mod tests {
             .unwrap();
         let t0 = Time::from_hours(12);
         assert!(
-            ca.spectrum(LinkDir::AtoB, t0) != cc.spectrum(LinkDir::AtoB, t0)
-                || count_a != count_c
+            ca.spectrum(LinkDir::AtoB, t0) != cc.spectrum(LinkDir::AtoB, t0) || count_a != count_c
         );
     }
 

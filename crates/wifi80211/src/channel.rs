@@ -240,9 +240,8 @@ mod tests {
             .map(|i| c.snr_db(base + simnet::time::Duration::from_millis(i * 50)))
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let std =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!(std > 0.5, "std={std}");
     }
 
@@ -254,8 +253,7 @@ mod tests {
                 .map(|i| c.snr_db(start + simnet::time::Duration::from_millis(i * 100)))
                 .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64)
-                .sqrt()
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt()
         };
         let day = sample_std(Time::from_hours(10));
         let night = sample_std(Time::from_hours(26)); // 2 am next day

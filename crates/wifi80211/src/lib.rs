@@ -20,6 +20,7 @@
 //! * [`throughput`] — analytic saturation goodput for long-horizon
 //!   experiments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;

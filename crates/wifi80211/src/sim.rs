@@ -16,10 +16,36 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use simnet::geometry::{Floor, Point};
+use simnet::obs::{Counter, Histo, Obs, Registry};
 use simnet::rng::Distributions;
 use simnet::time::{Duration, Time};
 use simnet::traffic::TrafficSource;
 use std::collections::HashMap;
+
+/// Shared handles into the metrics registry for the DCF hot paths.
+/// Incrementing is a cheap shared-cell add and none of it feeds back into
+/// simulation state (observation is inert — see `simnet::obs`).
+struct WifiMetrics {
+    steps: Counter,
+    events_fired: Counter,
+    collisions: Counter,
+    mcs_transitions: Counter,
+    rate_fallbacks: Counter,
+    ampdu_mpdus: Histo,
+}
+
+impl WifiMetrics {
+    fn register(reg: &Registry) -> Self {
+        WifiMetrics {
+            steps: reg.counter("wifi.mac.steps"),
+            events_fired: reg.counter("sim.events_fired"),
+            collisions: reg.counter("wifi.mac.collisions"),
+            mcs_transitions: reg.counter("wifi.rate.mcs_transitions"),
+            rate_fallbacks: reg.counter("wifi.rate.fallbacks"),
+            ampdu_mpdus: reg.histo("wifi.mac.ampdu_mpdus"),
+        }
+    }
+}
 
 /// Station identifier (shared id space with the PLC side of a hybrid
 /// node).
@@ -131,6 +157,8 @@ pub struct WifiSim {
     channels: HashMap<(usize, usize), WifiChannel>,
     adapters: HashMap<(usize, usize), RateAdapter>,
     flows: Vec<FlowState>,
+    obs: Obs,
+    metrics: WifiMetrics,
 }
 
 impl WifiSim {
@@ -163,6 +191,8 @@ impl WifiSim {
                 );
             }
         }
+        let obs = simnet::obs::current();
+        let metrics = WifiMetrics::register(obs.registry());
         WifiSim {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x771F_1771),
             cfg,
@@ -173,7 +203,16 @@ impl WifiSim {
             channels,
             adapters: HashMap::new(),
             flows: Vec::new(),
+            obs,
+            metrics,
         }
+    }
+
+    /// Route this simulation's metrics and events to `obs` instead of the
+    /// ambient handle captured at construction.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.metrics = WifiMetrics::register(obs.registry());
+        self.obs = obs;
     }
 
     /// Current simulation time.
@@ -229,7 +268,10 @@ impl WifiSim {
     /// Capacity estimate (Mb/s) from the current MCS.
     pub fn capacity_mbps(&self, src: StationId, dst: StationId) -> f64 {
         let key = (self.idx(src), self.idx(dst));
-        self.adapters.get(&key).map(|a| a.capacity_mbps()).unwrap_or(0.0)
+        self.adapters
+            .get(&key)
+            .map(|a| a.capacity_mbps())
+            .unwrap_or(0.0)
     }
 
     /// Drain delivered packets of a flow.
@@ -271,6 +313,8 @@ impl WifiSim {
     }
 
     fn step(&mut self, end: Time) {
+        self.metrics.steps.inc();
+        self.metrics.events_fired.inc();
         self.refill();
         let contenders: Vec<usize> = (0..self.stations.len())
             .filter(|&i| {
@@ -313,6 +357,10 @@ impl WifiSim {
             self.transmit(winners[0]);
         } else {
             // Collision: all frames lost, CW doubles.
+            self.metrics.collisions.inc();
+            self.obs.emit(self.now, "wifi.mac", "collision", || {
+                vec![("stations".into(), winners.len().into())]
+            });
             let mut max_air = Duration::ZERO;
             for &w in &winners {
                 let air = self.peek_airtime(w);
@@ -357,7 +405,9 @@ impl WifiSim {
             .phy_rate_mbps();
         let n = fs.queue.len().min(MAX_AMPDU_MPDUS);
         let bits: u64 = fs.queue.iter().take(n).map(|p| p.bytes as u64 * 8).sum();
-        Duration::from_micros_f64((bits as f64 / rate).min(self.cfg.max_ampdu_airtime.as_micros_f64()))
+        Duration::from_micros_f64(
+            (bits as f64 / rate).min(self.cfg.max_ampdu_airtime.as_micros_f64()),
+        )
     }
 
     fn transmit(&mut self, station: usize) {
@@ -379,6 +429,9 @@ impl WifiSim {
                 &mut self.rng,
                 self.channels[&Self::pair(src, dst)].snr_db(self.now),
             );
+            if adapter.current_mcs().is_some() {
+                self.metrics.mcs_transitions.inc();
+            }
             self.now += Duration::from_millis(10);
             return;
         };
@@ -419,15 +472,29 @@ impl WifiSim {
         for pkt in kept.into_iter().rev() {
             self.flows[f].queue.push_front(pkt);
         }
+        self.metrics.ampdu_mpdus.record(take as u64);
         // Feedback.
         let adapter = self.adapters.get_mut(&(src, dst)).expect("created");
         adapter.observe(&mut self.rng, snr);
         let loss_frac = lost as f64 / take.max(1) as f64;
         if loss_frac >= self.cfg.loss_burst_fraction {
             adapter.on_loss_burst();
+            self.metrics.rate_fallbacks.inc();
             self.stations[station].cw = (self.stations[station].cw * 2).min(CW_MAX);
         } else {
             self.stations[station].cw = CW_MIN;
+        }
+        let after = adapter.current_mcs();
+        if after != Some(mcs) {
+            self.metrics.mcs_transitions.inc();
+            self.obs.emit(self.now, "wifi.rate", "mcs_transition", || {
+                vec![
+                    ("src".into(), (self.ids[src] as u64).into()),
+                    ("dst".into(), (self.ids[dst] as u64).into()),
+                    ("from".into(), (mcs.0 as u64).into()),
+                    ("to".into(), after.map(|m| m.0 as i64).unwrap_or(-1).into()),
+                ]
+            });
         }
         self.stations[station].backoff = None;
         self.now += PREAMBLE + airtime + SIFS + BLOCK_ACK;
@@ -570,8 +637,7 @@ mod tests {
             }
         }
         let mean = bins.iter().sum::<f64>() / bins.len() as f64;
-        let std =
-            (bins.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / bins.len() as f64).sqrt();
+        let std = (bins.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / bins.len() as f64).sqrt();
         assert!(mean > 20.0, "mean={mean}");
         assert!(std / mean > 0.05, "cv={}", std / mean);
     }

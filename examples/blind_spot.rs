@@ -52,9 +52,7 @@ fn main() {
         } else {
             "WiFi faster"
         };
-        println!(
-            "{s:>7} {air:>8.1} {cable:>8.1} {wifi:>12.1} {t_plc:>12.1}  {verdict}"
-        );
+        println!("{s:>7} {air:>8.1} {cable:>8.1} {wifi:>12.1} {t_plc:>12.1}  {verdict}");
     }
     println!(
         "\n{blind} WiFi blind spot(s); PLC rescued {rescued} of them \

@@ -24,7 +24,10 @@ fn main() {
     // --- Survey: probe both mediums on every directed pair (the O(n^2)
     // probing §4.3 discusses; a real deployment would pace this with the
     // adaptive policy of §7.3).
-    println!("Surveying network A ({} stations) on both mediums...", members.len());
+    println!(
+        "Surveying network A ({} stations) on both mediums...",
+        members.len()
+    );
     let mut db = LinkMetricsDb::new();
     for &a in &members {
         for &b in &members {

@@ -64,7 +64,11 @@ fn main() {
     let base = evaluate_policy(ProbingPolicy::Fixed(Duration::from_secs(5)), &traces);
     let slow = evaluate_policy(ProbingPolicy::Fixed(Duration::from_secs(80)), &traces);
     println!("\nAccuracy/overhead (paper Fig. 19):");
-    for (name, eval) in [("our method", &ours), ("every 5 s", &base), ("every 80 s", &slow)] {
+    for (name, eval) in [
+        ("our method", &ours),
+        ("every 5 s", &base),
+        ("every 80 s", &slow),
+    ] {
         let ecdf = Ecdf::new(eval.errors_mbps.clone());
         println!(
             "  {name:<11}: probes={:<5} median err={:.2} Mb/s  p90 err={:.2} Mb/s",

@@ -70,7 +70,10 @@ fn main() {
         );
     }
 
-    println!("\nIEEE 1905 metric database now holds {} records.", db.len());
+    println!(
+        "\nIEEE 1905 metric database now holds {} records.",
+        db.len()
+    );
     println!("Guidelines (paper Table 3):");
     for g in electrifi::guidelines::table3() {
         println!("  [{}] {} (see §{})", g.policy, g.guideline, g.sections);

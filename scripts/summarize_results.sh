@@ -1,20 +1,69 @@
 #!/usr/bin/env bash
-# Helper: print the headline numbers from out/*.txt for EXPERIMENTS.md.
+# Helper: summarize run manifests (out/*.manifest.json) and print the
+# headline numbers from out/*.txt for EXPERIMENTS.md.
 set -e
-cd "$(dirname "$0")"
-echo "== fig03 =="; grep -E 'covers|outperforms|max' out/fig03.txt || true
-echo "== fig04 =="; grep -E 'cv=' out/fig04.txt || true
-echo "== fig06 =="; tail -2 out/fig06.txt
-echo "== fig07 =="; grep -E 'rho' out/fig07.txt
-echo "== fig11 =="; grep -E 'rho' out/fig11.txt
-echo "== fig12 =="; grep 'step' out/fig12.txt
-echo "== fig15 =="; grep -E 'fit|residuals' out/fig15.txt
-echo "== fig16 =="; grep -E 't90' out/fig16.txt
-echo "== fig18 =="; grep -E 'probes ->' out/fig18.txt
-echo "== fig19 =="; grep -E 'overhead' out/fig19.txt
-echo "== fig20 =="; grep -E 'Hybrid|Round' out/fig20.txt | head -4
-echo "== fig21 =="; grep -E 'observations' out/fig21.txt
-echo "== fig22 =="; grep -E 'rho' out/fig22.txt
-echo "== fig23 =="; grep -E 'retention' out/fig23.txt
-echo "== fig24 =="; grep -E 'retention' out/fig24.txt
-echo "== ablation =="; grep -E 'share std|retention' out/ablation.txt
+cd "$(dirname "$0")/.."
+
+# --- run manifests -----------------------------------------------------
+# Every reproduction binary writes out/<name>.manifest.json (seed, config
+# digest, scale, horizons, wall clock, events fired, metrics snapshot).
+# One line per run: enough to spot a slow or misconfigured run at a
+# glance.
+if compgen -G "out/*.manifest.json" > /dev/null; then
+  echo "== manifests =="
+  python3 - <<'PY'
+import glob, json
+
+for path in sorted(glob.glob("out/*.manifest.json")):
+    try:
+        with open(path) as f:
+            m = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: unreadable ({e})")
+        continue
+    wall = m.get("wall_clock_s", 0.0)
+    events = m.get("events_fired", 0)
+    eps = events / wall if wall > 0 else 0.0
+    counters = m.get("metrics", {}).get("counters", [])
+    top = ", ".join(
+        f"{name}={value}"
+        for name, value in sorted(counters, key=lambda kv: -kv[1])[:3]
+    )
+    print(
+        f"{m.get('name', '?'):>10}  seed={m.get('seed', '?')}"
+        f"  scale={m.get('scale', '?'):>5}"
+        f"  horizon={m.get('sim_horizon_s', 0.0):.0f}s"
+        f"  wall={wall:6.1f}s  events={events}  ({eps:,.0f} ev/s)"
+        + (f"  top: {top}" if top else "")
+    )
+PY
+else
+  echo "== manifests ==  (none found under out/)"
+fi
+
+# --- headline numbers from text dumps ----------------------------------
+# Only figures whose text dump exists get a section: the binaries are
+# run piecemeal, and a missing file is not an error.
+section() { # section <name> <file> <cmd...>
+  local name=$1 file=$2
+  shift 2
+  [ -f "$file" ] || return 0
+  echo "== $name =="
+  "$@" "$file" || true
+}
+section fig03 out/fig03.txt grep -E 'covers|outperforms|max'
+section fig04 out/fig04.txt grep -E 'cv='
+section fig06 out/fig06.txt tail -2
+section fig07 out/fig07.txt grep -E 'rho'
+section fig11 out/fig11.txt grep -E 'rho'
+section fig12 out/fig12.txt grep 'step'
+section fig15 out/fig15.txt grep -E 'fit|residuals'
+section fig16 out/fig16.txt grep -E 't90'
+section fig18 out/fig18.txt grep -E 'probes ->'
+section fig19 out/fig19.txt grep -E 'overhead'
+section fig20 out/fig20.txt sh -c 'grep -E "Hybrid|Round" "$0" | head -4'
+section fig21 out/fig21.txt grep -E 'observations'
+section fig22 out/fig22.txt grep -E 'rho'
+section fig23 out/fig23.txt grep -E 'retention'
+section fig24 out/fig24.txt grep -E 'retention'
+section ablation out/ablation.txt grep -E 'share std|retention'

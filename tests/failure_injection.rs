@@ -85,12 +85,7 @@ fn appliance_storm_degrades_tone_maps() {
     )
     .expect("wired");
     let env = PaperEnv::new(PAPER_SEED);
-    let mut sim = LinkProbeSim::new(
-        channel,
-        plc_phy::channel::LinkDir::AtoB,
-        env.estimator,
-        3,
-    );
+    let mut sim = LinkProbeSim::new(channel, plc_phy::channel::LinkDir::AtoB, env.estimator, 3);
     // Long pre-phase so the bootstrap margin has fully decayed (the
     // estimate is no longer drifting upward on its own).
     let t0 = Time::from_secs(edge.saturating_sub(55));

@@ -101,18 +101,10 @@ fn plc_asymmetry_exceeds_wifi_asymmetry_on_average() {
     let mut plc_ratios = Vec::new();
     let mut wifi_ratios = Vec::new();
     for (a, b) in [(1u16, 2u16), (5u16, 8u16), (0, 3), (9, 10), (4, 7), (2, 11)] {
-        let mut fwd = LinkProbeSim::new(
-            env.plc_channel(a, b),
-            PaperEnv::dir(a, b),
-            env.estimator,
-            1,
-        );
-        let mut rev = LinkProbeSim::new(
-            env.plc_channel(a, b),
-            PaperEnv::dir(b, a),
-            env.estimator,
-            2,
-        );
+        let mut fwd =
+            LinkProbeSim::new(env.plc_channel(a, b), PaperEnv::dir(a, b), env.estimator, 1);
+        let mut rev =
+            LinkProbeSim::new(env.plc_channel(a, b), PaperEnv::dir(b, a), env.estimator, 2);
         fwd.warmup(now, 8);
         rev.warmup(now, 8);
         let (f, r) = (fwd.ble_avg(), rev.ble_avg());
@@ -124,8 +116,12 @@ fn plc_asymmetry_exceeds_wifi_asymmetry_on_average() {
         let f = w.snr_db(now);
         let r = w.snr_db(now + Duration::from_millis(3));
         let (cf, cr) = (
-            wifi80211::Mcs::select(f, 1.5).map(|m| m.phy_rate_mbps()).unwrap_or(0.0),
-            wifi80211::Mcs::select(r, 1.5).map(|m| m.phy_rate_mbps()).unwrap_or(0.0),
+            wifi80211::Mcs::select(f, 1.5)
+                .map(|m| m.phy_rate_mbps())
+                .unwrap_or(0.0),
+            wifi80211::Mcs::select(r, 1.5)
+                .map(|m| m.phy_rate_mbps())
+                .unwrap_or(0.0),
         );
         if cf > 0.0 && cr > 0.0 {
             wifi_ratios.push((cf / cr).max(cr / cf));
@@ -275,7 +271,12 @@ fn timescale_decomposition_matches_the_channel_structure() {
     // 2-6 measured best-in-class, 10-11 worst (see EXPERIMENTS.md).
     let good = decompose_link(2, 6);
     let bad = decompose_link(10, 11);
-    assert!(good.mean > bad.mean, "good {} vs bad {}", good.mean, bad.mean);
+    assert!(
+        good.mean > bad.mean,
+        "good {} vs bad {}",
+        good.mean,
+        bad.mean
+    );
     // All decomposition components are finite and non-negative.
     for d in [&good, &bad] {
         assert!(d.invariance_spread.is_finite() && d.invariance_spread >= 0.0);

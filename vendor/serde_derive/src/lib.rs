@@ -1,0 +1,485 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's value-tree model, using only the built-in
+//! `proc_macro` API (no `syn`/`quote` — the build environment has no
+//! crates-io access). Code is generated as strings and re-parsed, which is
+//! plenty for the non-generic structs and enums this workspace derives.
+//!
+//! Supported shapes and their JSON mapping (matching upstream
+//! serde/serde_json conventions):
+//! - named struct        -> object of fields
+//! - newtype struct      -> transparent (inner value)
+//! - tuple struct (n>1)  -> array
+//! - unit struct         -> null
+//! - enum                -> externally tagged: unit variant as a string,
+//!   newtype as `{"Variant": value}`, tuple as `{"Variant": [..]}`,
+//!   struct as `{"Variant": {..}}`
+//!
+//! Generic types are rejected with a compile error (none are derived in
+//! this workspace).
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens parse")
+}
+
+/// Skip leading `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        let is_attr = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#')
+            && matches!(&tokens[*i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket);
+        if is_attr {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Skip a leading visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens[*i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Split `tokens` on commas that sit outside any `<...>` nesting.
+/// Parentheses/brackets/braces arrive pre-grouped in the token tree, so
+/// angle brackets are the only depth we must track ourselves.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i64 = 0;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok.clone());
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Field names of a `{ ... }` struct body (or struct enum variant body).
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(body) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attrs(&chunk, &mut i);
+        skip_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Arity of a `( ... )` tuple body.
+fn parse_tuple_arity(body: &[TokenTree]) -> usize {
+    split_top_level(body)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(body) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attrs(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match chunk.get(i) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(parse_tuple_arity(&toks))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Named(parse_named_fields(&toks)?)
+            }
+            other => {
+                return Err(format!(
+                    "unsupported tokens after variant {name}: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize/Deserialize) shim does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&toks)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(&toks),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(&toks)?,
+                })
+            }
+            other => Err(format!("expected enum body for {name}, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ----- Serialize codegen -----
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Obj(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Arr(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Obj(vec![({vname:?}.to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Obj(vec![({vname:?}.to_string(), serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Obj(vec![({vname:?}.to_string(), serde::Value::Obj(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// ----- Deserialize codegen -----
+
+fn named_fields_ctor(path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value({src}.get({f:?}).unwrap_or(&serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let ctor = named_fields_ctor(name, fields, "v");
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Obj(_) => Ok({ctor}),\n\
+                             other => Err(serde::Error::msg(format!(\n\
+                                 \"expected object for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Arr(items) if items.len() == {arity} => \
+                                 Ok({name}({})),\n\
+                             other => Err(serde::Error::msg(format!(\n\
+                                 \"expected {arity}-element array for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                     match v {{\n\
+                         serde::Value::Null => Ok({name}),\n\
+                         other => Err(serde::Error::msg(format!(\n\
+                             \"expected null for {name}, found {{}}\", other.kind()))),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => match inner {{\n\
+                                     serde::Value::Arr(items) if items.len() == {n} => \
+                                         Ok({name}::{vname}({})),\n\
+                                     other => Err(serde::Error::msg(format!(\n\
+                                         \"expected {n}-element array for {name}::{vname}, found {{}}\", other.kind()))),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let ctor =
+                                named_fields_ctor(&format!("{name}::{vname}"), fields, "inner");
+                            Some(format!(
+                                "{vname:?} => match inner {{\n\
+                                     serde::Value::Obj(_) => Ok({ctor}),\n\
+                                     other => Err(serde::Error::msg(format!(\n\
+                                         \"expected object for {name}::{vname}, found {{}}\", other.kind()))),\n\
+                                 }},",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(serde::Error::msg(format!(\n\
+                                     \"unknown unit variant {{other:?}} for {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, inner) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(serde::Error::msg(format!(\n\
+                                         \"unknown variant {{other:?}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::Error::msg(format!(\n\
+                                 \"expected string or single-key object for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = gen(&shape);
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("derive shim produced invalid code: {e}")),
+    }
+}
+
+/// Derive `serde::Serialize` (value-tree model) for a non-generic struct
+/// or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree model) for a non-generic struct
+/// or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
