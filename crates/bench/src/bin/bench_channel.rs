@@ -1,0 +1,100 @@
+//! Channel-spectrum performance smoke bench.
+//!
+//! Times the uncached reference evaluator against the cached hot path on
+//! the most-tapped link of the paper floor and writes
+//! `out/BENCH_channel.json` — seed, link, wall-clock per path, speedup
+//! and the epoch-cache hit rate — so the perf trajectory of the spectrum
+//! pipeline is tracked alongside the figure manifests.
+
+use electrifi::experiments::PAPER_SEED;
+use electrifi::PaperEnv;
+use plc_phy::channel::PlcChannel;
+use plc_phy::SnrSpectrum;
+use serde::Serialize;
+use simnet::obs::{self, Obs};
+use simnet::time::{Duration, Time};
+
+/// What `out/BENCH_channel.json` records.
+#[derive(Debug, Serialize)]
+struct ChannelBenchReport {
+    seed: u64,
+    link: (u16, u16),
+    taps: usize,
+    carriers: usize,
+    iters: u64,
+    cold_s: f64,
+    warm_s: f64,
+    speedup: f64,
+    epoch_hits: u64,
+    epoch_rebuilds: u64,
+    cache_hit_rate: f64,
+}
+
+fn timed(iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    let t0 = std::time::Instant::now();
+    for k in 0..iters {
+        f(k);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let iters: u64 = std::env::var("ELECTRIFI_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2000);
+    let env = PaperEnv::new(PAPER_SEED);
+    // The most-tapped same-network link: the worst case for the uncached
+    // evaluator (cost grows with carriers × echoes).
+    let (a, b, ch) = env
+        .plc_pairs()
+        .into_iter()
+        .filter(|(a, b)| a < b)
+        .map(|(a, b)| (a, b, env.plc_channel(a, b)))
+        .max_by_key(|(_, _, ch)| ch.tap_count())
+        .expect("paper floor has PLC pairs");
+    let dir = PaperEnv::dir(a, b);
+    // Millisecond-spaced refreshes around a fixed hour, the regime the
+    // sims run in: the epoch key stays stable, so the warm path measures
+    // cache composition, not rebuilds.
+    let base = Time::from_hours(10);
+    let at = |k: u64| base + Duration::from_millis(k % 1000);
+
+    let cold_s = timed(iters, |k| {
+        std::hint::black_box(ch.spectrum_at_phase_reference(dir, at(k), 0.25));
+    });
+
+    // Fresh channel (cold cache) under a fresh registry so the hit-rate
+    // counters cover exactly the timed loop.
+    let obs = Obs::new();
+    let (warm_s, carriers) = obs::with_default(obs.clone(), || {
+        let ch2: PlcChannel = env.plc_channel(a, b);
+        let mut buf = SnrSpectrum::empty();
+        let warm_s = timed(iters, |k| {
+            ch2.spectrum_at_phase_into(dir, at(k), 0.25, &mut buf);
+            std::hint::black_box(buf.snr_db[0]);
+        });
+        (warm_s, buf.snr_db.len())
+    });
+    let snap = obs.registry().snapshot();
+    let epoch_hits = snap.counter("plc.phy.spectrum.epoch_hits");
+    let epoch_rebuilds = snap.counter("plc.phy.spectrum.epoch_rebuilds");
+
+    let report = ChannelBenchReport {
+        seed: PAPER_SEED,
+        link: (a, b),
+        taps: ch.tap_count(),
+        carriers,
+        iters,
+        cold_s,
+        warm_s,
+        speedup: cold_s / warm_s.max(1e-12),
+        epoch_hits,
+        epoch_rebuilds,
+        cache_hit_rate: epoch_hits as f64 / (epoch_hits + epoch_rebuilds).max(1) as f64,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    let _ = std::fs::create_dir_all("out");
+    std::fs::write("out/BENCH_channel.json", &json).expect("write out/BENCH_channel.json");
+    println!("{json}");
+}

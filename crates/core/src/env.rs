@@ -65,6 +65,20 @@ impl PaperEnv {
     pub fn network_members(&self, net: PlcNetwork) -> Vec<StationId> {
         self.testbed.network_members(net)
     }
+
+    /// All undirected station pairs `(a, b)` with `a < b`, across both
+    /// mediums and networks — the population the spatial experiments
+    /// sweep. Deterministic order (station id).
+    pub fn station_pairs(&self) -> Vec<(StationId, StationId)> {
+        let n = self.testbed.stations.len() as StationId;
+        let mut pairs = Vec::with_capacity(n as usize * (n as usize - 1) / 2);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
 }
 
 #[cfg(test)]

@@ -45,18 +45,20 @@ pub struct Fig15Result {
 pub fn fig15(env: &PaperEnv, scale: Scale) -> Fig15Result {
     use rand::SeedableRng;
     use simnet::rng::Distributions;
-    let mut meas_rng = rand::rngs::StdRng::seed_from_u64(0xF15E);
     let duration = scale.dur(Duration::from_secs(240), 60);
     let start = Time::from_hours(15);
     let mut pairs = env.plc_pairs();
     pairs.truncate(scale.take(pairs.len(), 12));
-    let mut rows = Vec::new();
-    for (a, b) in pairs {
+    // One pure item per link: the measurement-jitter RNG is seeded per
+    // link (not threaded through the sweep), so items parallelize.
+    let rows: Vec<Fig15Row> = electrifi_testbed::sweep::par_map(&pairs, |_, &(a, b)| {
         let channel = env.plc_channel(a, b);
         if channel.spectrum(PaperEnv::dir(a, b), start).mean_db() < -2.0 {
-            continue;
+            return None;
         }
         let seed = 0xF15 ^ ((a as u64) << 20) ^ ((b as u64) << 2);
+        let mut meas_rng =
+            rand::rngs::StdRng::seed_from_u64(0xF15E ^ ((a as u64) << 20) ^ ((b as u64) << 2));
         let mut sim = LinkProbeSim::new(channel, PaperEnv::dir(a, b), env.estimator, seed);
         let mut t = sim.warmup(start, 8);
         let mut ble = simnet::stats::RunningStats::new();
@@ -70,14 +72,19 @@ pub fn fig15(env: &PaperEnv, scale: Scale) -> Fig15Result {
             t += Duration::from_secs(1);
         }
         if thr.mean() > 0.3 {
-            rows.push(Fig15Row {
+            Some(Fig15Row {
                 a,
                 b,
                 throughput: thr.mean(),
                 ble: ble.mean(),
-            });
+            })
+        } else {
+            None
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.throughput, r.ble)).collect();
     let fit = linear_fit(&pts);
     let residual_normality = fit.and_then(|f| {

@@ -3,7 +3,7 @@
 use crate::env::PaperEnv;
 use crate::experiments::Scale;
 use crate::probesim::LinkProbeSim;
-use electrifi_testbed::StationId;
+use electrifi_testbed::{sweep, StationId};
 use plc_phy::PlcTechnology;
 use serde::{Deserialize, Serialize};
 use simnet::stats::RunningStats;
@@ -60,24 +60,19 @@ pub struct Fig3Result {
 pub fn fig3(env: &PaperEnv, scale: Scale) -> Fig3Result {
     let duration = scale.dur(Duration::from_secs(300), 30);
     let sample = Duration::from_millis(100);
-    let start = Time::from_hours(10); // weekday working hours
-    let mut rows = Vec::new();
+    // Weekday working hours.
+    let start = Time::from_hours(10);
     // Undirected pairs, measured in the a->b (a < b) direction as the
     // paper measures "for each pair of stations".
     let all: Vec<(StationId, StationId)> = {
-        let mut v = Vec::new();
-        for s in &env.testbed.stations {
-            for t in &env.testbed.stations {
-                if s.id < t.id {
-                    v.push((s.id, t.id));
-                }
-            }
-        }
+        let mut v = env.station_pairs();
         let keep = scale.take(v.len(), 12);
         v.truncate(keep);
         v
     };
-    for (a, b) in all {
+    // Each pair's measurement is pure (per-pair seeds), so the sweep fans
+    // out across cores with results collected in pair order.
+    let rows: Vec<PairMeasurement> = sweep::par_map(&all, |_, &(a, b)| {
         let air_m = env.testbed.air_distance_m(a, b);
         // --- PLC side.
         let same_net = env.testbed.station(a).network == env.testbed.station(b).network;
@@ -89,7 +84,7 @@ pub fn fig3(env: &PaperEnv, scale: Scale) -> Fig3Result {
         // --- WiFi side (back-to-back: same window).
         let (t_wifi, s_wifi) = measure_wifi(env, a, b, start, duration, sample);
         if t_plc > 0.0 || t_wifi > 0.0 {
-            rows.push(PairMeasurement {
+            Some(PairMeasurement {
                 a,
                 b,
                 t_plc,
@@ -97,9 +92,14 @@ pub fn fig3(env: &PaperEnv, scale: Scale) -> Fig3Result {
                 t_wifi,
                 s_wifi,
                 air_m,
-            });
+            })
+        } else {
+            None
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     summarize_fig3(rows)
 }
 
@@ -242,14 +242,18 @@ pub fn fig6(env: &PaperEnv, scale: Scale) -> Fig6Result {
     let mut pairs: Vec<(StationId, StationId)> =
         env.plc_pairs().into_iter().filter(|(a, b)| a < b).collect();
     pairs.truncate(scale.take(pairs.len(), 8));
-    let mut rows = Vec::new();
-    for (x, y) in pairs {
+    let mut rows: Vec<AsymmetryRow> = sweep::par_map(&pairs, |_, &(x, y)| {
         let (t_xy, _) = measure_plc(env, x, y, PlcTechnology::HpAv, start, duration, sample);
         let (t_yx, _) = measure_plc_rev(env, y, x, start, duration, sample);
         if t_xy > 0.5 && t_yx > 0.5 {
-            rows.push(AsymmetryRow { x, y, t_xy, t_yx });
+            Some(AsymmetryRow { x, y, t_xy, t_yx })
+        } else {
+            None
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).expect("finite"));
     let above = rows.iter().filter(|r| r.ratio() > 1.5).count();
     Fig6Result {
@@ -301,42 +305,52 @@ pub fn fig7(env: &PaperEnv, scale: Scale) -> Fig7Result {
     let start = Time::from_hours(14);
     let mut pairs = env.plc_pairs();
     pairs.truncate(scale.take(pairs.len(), 10));
+    let measure = |a: StationId, b: StationId, tech: PlcTechnology| -> Option<DistanceRow> {
+        let cable_m = env
+            .testbed
+            .cable_distance_m(a, b)
+            .expect("same-network pairs are wired");
+        let channel = env.plc_channel_tech(a, b, tech);
+        if channel.spectrum(PaperEnv::dir(a, b), start).mean_db() < PLC_DEAD_SNR_DB {
+            return None;
+        }
+        let seed = 0xF1607 ^ ((a as u64) << 24) ^ ((b as u64) << 8);
+        let mut sim = LinkProbeSim::new(channel, PaperEnv::dir(a, b), env.estimator, seed);
+        let mut t = sim.warmup(start, 8);
+        let mut stats = RunningStats::new();
+        let end = t + duration;
+        while t < end {
+            sim.saturate_interval(t, t + Duration::from_millis(20), Duration::from_millis(10));
+            stats.push(sim.throughput_now(t));
+            t += Duration::from_millis(500);
+        }
+        let pberr = sim.pberr_cumulative().unwrap_or(0.0);
+        if stats.mean() > 0.3 {
+            Some(DistanceRow {
+                a,
+                b,
+                cable_m,
+                throughput: stats.mean(),
+                pberr,
+            })
+        } else {
+            None
+        }
+    };
+    // Both technologies of one pair measure in the same sweep item; the
+    // two point clouds are then partitioned back out in pair order.
+    let per_pair: Vec<(Option<DistanceRow>, Option<DistanceRow>)> =
+        sweep::par_map(&pairs, |_, &(a, b)| {
+            (
+                measure(a, b, PlcTechnology::HpAv),
+                measure(a, b, PlcTechnology::HpAv500),
+            )
+        });
     let mut av = Vec::new();
     let mut av500 = Vec::new();
-    for &(a, b) in &pairs {
-        for (tech, out) in [
-            (PlcTechnology::HpAv, &mut av),
-            (PlcTechnology::HpAv500, &mut av500),
-        ] {
-            let cable_m = env
-                .testbed
-                .cable_distance_m(a, b)
-                .expect("same-network pairs are wired");
-            let channel = env.plc_channel_tech(a, b, tech);
-            if channel.spectrum(PaperEnv::dir(a, b), start).mean_db() < PLC_DEAD_SNR_DB {
-                continue;
-            }
-            let seed = 0xF1607 ^ ((a as u64) << 24) ^ ((b as u64) << 8);
-            let mut sim = LinkProbeSim::new(channel, PaperEnv::dir(a, b), env.estimator, seed);
-            let mut t = sim.warmup(start, 8);
-            let mut stats = RunningStats::new();
-            let end = t + duration;
-            while t < end {
-                sim.saturate_interval(t, t + Duration::from_millis(20), Duration::from_millis(10));
-                stats.push(sim.throughput_now(t));
-                t += Duration::from_millis(500);
-            }
-            let pberr = sim.pberr_cumulative().unwrap_or(0.0);
-            if stats.mean() > 0.3 {
-                out.push(DistanceRow {
-                    a,
-                    b,
-                    cable_m,
-                    throughput: stats.mean(),
-                    pberr,
-                });
-            }
-        }
+    for (row_av, row_av500) in per_pair {
+        av.extend(row_av);
+        av500.extend(row_av500);
     }
     Fig7Result { av, av500 }
 }

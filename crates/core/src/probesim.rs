@@ -31,6 +31,8 @@ struct ProbeMetrics {
     pb_errors: Counter,
     regens: Counter,
     resets: Counter,
+    spec_hits: Counter,
+    spec_refreshes: Counter,
 }
 
 impl ProbeMetrics {
@@ -42,6 +44,8 @@ impl ProbeMetrics {
             pb_errors: reg.counter("core.probe.pb_errors"),
             regens: reg.counter("core.probe.tonemap_regens"),
             resets: reg.counter("core.probe.resets"),
+            spec_hits: reg.counter("core.probe.spectrum_hits"),
+            spec_refreshes: reg.counter("core.probe.spectrum_refreshes"),
         }
     }
 }
@@ -81,6 +85,9 @@ pub struct LinkProbeSim {
     /// moves on the cycle scale (~1 s), so caching is lossless in
     /// practice and makes week-long traces affordable.
     spec_cache: Vec<Option<(Time, SnrSpectrum)>>,
+    /// Prebuilt ROBO map for this carrier count, so pre-regen sends don't
+    /// rebuild one per frame.
+    robo: ToneMap,
     metrics: ProbeMetrics,
 }
 
@@ -99,22 +106,28 @@ impl LinkProbeSim {
             window: (0, 0),
             cumulative: (0, 0),
             spec_cache: vec![None; TONEMAP_SLOTS],
+            robo: ToneMap::robo(n),
             metrics: ProbeMetrics::register(simnet::obs::current().registry()),
         }
     }
 
-    /// Per-slot cached spectrum at time `t`.
-    fn spectrum_cached(&mut self, slot: usize, t: Time) -> &SnrSpectrum {
+    /// Refresh the per-slot cached spectrum at time `t` if stale,
+    /// rewriting the slot's buffer in place (no per-refresh allocation).
+    fn ensure_spectrum(&mut self, slot: usize, t: Time) {
         let stale = match &self.spec_cache[slot] {
             Some((at, _)) => t.saturating_since(*at) >= SPECTRUM_TTL,
             None => true,
         };
         if stale {
+            self.metrics.spec_refreshes.inc();
             let phase = (slot as f64 + 0.5) / TONEMAP_SLOTS as f64;
-            let spec = self.channel.spectrum_at_phase(self.dir, t, phase);
-            self.spec_cache[slot] = Some((t, spec));
+            let (at, spec) = self.spec_cache[slot].get_or_insert_with(|| (t, SnrSpectrum::empty()));
+            *at = t;
+            self.channel
+                .spectrum_at_phase_into(self.dir, t, phase, spec);
+        } else {
+            self.metrics.spec_hits.inc();
         }
-        &self.spec_cache[slot].as_ref().expect("just filled").1
     }
 
     /// The underlying channel.
@@ -133,7 +146,9 @@ impl LinkProbeSim {
         self.metrics.resets.inc();
         self.est.reset();
         self.window = (0, 0);
-        self.spec_cache = vec![None; TONEMAP_SLOTS];
+        for entry in &mut self.spec_cache {
+            *entry = None;
+        }
     }
 
     /// Average BLE over the six slots — the `int6krate` reading.
@@ -157,11 +172,11 @@ impl LinkProbeSim {
 
     /// The tone map the *sender* would use right now for a frame in
     /// `slot` (ROBO until the first tone maps exist).
-    fn sender_map(&self, slot: usize) -> ToneMap {
+    fn sender_map(&self, slot: usize) -> &ToneMap {
         if self.est.last_regen().is_some() {
-            self.est.tonemaps().slots[slot % TONEMAP_SLOTS].clone()
+            &self.est.tonemaps().slots[slot % TONEMAP_SLOTS]
         } else {
-            ToneMap::robo(self.channel.plan().len())
+            &self.robo
         }
     }
 
@@ -172,12 +187,17 @@ impl LinkProbeSim {
     /// (§7.2).
     pub fn frame(&mut self, t: Time, payload_bytes: u32) -> FrameOutcome {
         let slot = t.tonemap_slot(TONEMAP_SLOTS);
-        let map = self.sender_map(slot);
+        self.ensure_spectrum(slot, t);
         let pbs = plc_mac::pb::pbs_for_packet(payload_bytes);
         let bits = pbs as u64 * PB_BITS;
+        // Shared borrows of the slot cache and the tone map end before the
+        // estimator/rng mutations below (disjoint fields), so the frame
+        // runs clone-free.
+        let spec = &self.spec_cache[slot].as_ref().expect("just refreshed").1;
+        let map = self.sender_map(slot);
+        let ble_mbps = map.ble();
         let n_symbols = map.symbols_for_bits(bits).clamp(1, 1_000);
-        let spec = self.spectrum_cached(slot, t).clone();
-        let pberr = pb_error_prob(&map, &spec);
+        let pberr = pb_error_prob(map, spec);
         let mut pb_errors = 0u32;
         for _ in 0..pbs {
             if Distributions::bernoulli(&mut self.rng, pberr) {
@@ -188,7 +208,7 @@ impl LinkProbeSim {
         self.window.1 += pb_errors as u64;
         self.cumulative.0 += pbs as u64;
         self.cumulative.1 += pb_errors as u64;
-        self.est.observe(&mut self.rng, slot, &spec, n_symbols, pbs);
+        self.est.observe(&mut self.rng, slot, spec, n_symbols, pbs);
         let recent = if self.window.0 >= 20 {
             self.window.1 as f64 / self.window.0 as f64
         } else {
@@ -205,7 +225,7 @@ impl LinkProbeSim {
         self.metrics.pb_errors.add(pb_errors as u64);
         FrameOutcome {
             slot,
-            ble_mbps: map.ble(),
+            ble_mbps,
             pberr,
             pbs,
             pb_errors,
@@ -248,9 +268,10 @@ impl LinkProbeSim {
     /// estimator state (analytic MAC model, single flow).
     pub fn throughput_now(&mut self, t: Time) -> f64 {
         let slot = t.tonemap_slot(TONEMAP_SLOTS);
+        self.ensure_spectrum(slot, t);
+        let spec = &self.spec_cache[slot].as_ref().expect("just refreshed").1;
         let map = self.sender_map(slot);
-        let spec = self.spectrum_cached(slot, t).clone();
-        let pberr = pb_error_prob(&map, &spec);
+        let pberr = pb_error_prob(map, spec);
         plc_mac::saturation_throughput_mbps(self.est.ble_avg(), pberr, 1)
     }
 

@@ -46,6 +46,8 @@ struct MacMetrics {
     sack_retrans_pbs: Counter,
     tonemap_updates: Counter,
     sound_frames: Counter,
+    spec_hits: Counter,
+    spec_refreshes: Counter,
 }
 
 impl MacMetrics {
@@ -59,6 +61,8 @@ impl MacMetrics {
             sack_retrans_pbs: reg.counter("plc.mac.sack.retrans_pbs"),
             tonemap_updates: reg.counter("plc.mac.tonemap.updates"),
             sound_frames: reg.counter("plc.mac.sound_frames"),
+            spec_hits: reg.counter("plc.mac.spectrum_hits"),
+            spec_refreshes: reg.counter("plc.mac.spectrum_refreshes"),
         }
     }
 }
@@ -265,6 +269,9 @@ pub struct PlcSim {
     sniffer: Vec<SofRecord>,
     spectra: HashMap<(usize, usize, u8), CachedSpectrum>,
     n_carriers: usize,
+    /// Prebuilt ROBO map for this carrier count (broadcasts, sounding,
+    /// dead-map fallback) — avoids rebuilding the carrier vector per frame.
+    robo: ToneMap,
     obs: Obs,
     metrics: MacMetrics,
 }
@@ -322,6 +329,7 @@ impl PlcSim {
             sniffer: Vec::new(),
             spectra: HashMap::new(),
             n_carriers,
+            robo: ToneMap::robo(n_carriers),
             obs,
             metrics,
         }
@@ -411,9 +419,9 @@ impl PlcSim {
         })
     }
 
-    /// Cached per-slot spectrum for a directed link (refreshed every
-    /// `spectrum_refresh`).
-    fn spectrum(&mut self, src: usize, dst: usize, slot: usize) -> &SnrSpectrum {
+    /// Refresh the cached per-slot spectrum for a directed link if older
+    /// than `spectrum_refresh`, rewriting the entry's buffer in place.
+    fn refresh_spectrum(&mut self, src: usize, dst: usize, slot: usize) {
         let key = (src, dst, slot as u8);
         let refresh = self.cfg.spectrum_refresh;
         let now = self.now;
@@ -422,22 +430,34 @@ impl PlcSim {
             None => true,
         };
         if needs {
+            self.metrics.spec_refreshes.inc();
             let ch = self
                 .channels
                 .get(&Self::pair(src, dst))
                 .expect("channel exists for active link");
             let phase = (slot as f64 + 0.5) / TONEMAP_SLOTS as f64;
-            let spec = ch.spectrum_at_phase(Self::dir(src, dst), now, phase);
-            self.spectra.insert(
-                key,
-                CachedSpectrum {
-                    at: now,
-                    spec,
-                    pberr_for: None,
-                },
-            );
+            let entry = self.spectra.entry(key).or_insert_with(|| CachedSpectrum {
+                at: now,
+                spec: SnrSpectrum::empty(),
+                pberr_for: None,
+            });
+            entry.at = now;
+            entry.pberr_for = None;
+            ch.spectrum_at_phase_into(Self::dir(src, dst), now, phase, &mut entry.spec);
+        } else {
+            self.metrics.spec_hits.inc();
         }
-        &self.spectra.get(&key).expect("just inserted").spec
+    }
+
+    /// Cached per-slot spectrum for a directed link (refreshed every
+    /// `spectrum_refresh`).
+    fn spectrum(&mut self, src: usize, dst: usize, slot: usize) -> &SnrSpectrum {
+        self.refresh_spectrum(src, dst, slot);
+        &self
+            .spectra
+            .get(&(src, dst, slot as u8))
+            .expect("just refreshed")
+            .spec
     }
 
     /// PBerr of `map` against the cached spectrum, memoized per tone-map
@@ -465,7 +485,7 @@ impl PlcSim {
         self.rx
             .get(&(s, d))
             .map(|r| r.estimator.ble_avg())
-            .unwrap_or_else(|| ToneMap::robo(self.n_carriers).ble())
+            .unwrap_or_else(|| self.robo.ble())
     }
 
     /// BLE of one tone-map slot for `src → dst`, Mb/s.
@@ -474,7 +494,7 @@ impl PlcSim {
         self.rx
             .get(&(s, d))
             .map(|r| r.estimator.ble_slot(slot))
-            .unwrap_or_else(|| ToneMap::robo(self.n_carriers).ble())
+            .unwrap_or_else(|| self.robo.ble())
     }
 
     /// `ampstat`-style query: PB error rate on `src → dst` since the last
@@ -754,7 +774,7 @@ impl PlcSim {
         let is_broadcast = self.flows[f].flow.is_broadcast();
         let slot = self.now.tonemap_slot(TONEMAP_SLOTS);
         let map = if is_broadcast {
-            ToneMap::robo(self.n_carriers)
+            self.robo.clone()
         } else {
             let src = self.idx(self.flows[f].flow.src);
             let dst = self.idx(self.flows[f].flow.dst);
@@ -766,14 +786,14 @@ impl PlcSim {
             } else {
                 // No estimate yet: the link sounds with ROBO frames.
                 self.metrics.sound_frames.inc();
-                ToneMap::robo(self.n_carriers)
+                self.robo.clone()
             }
         };
         let bits_per_sym = map.info_bits_per_symbol();
         if bits_per_sym <= 0.0 {
             // Dead tone map: fall back to ROBO so the link can re-sound.
             self.metrics.sound_frames.inc();
-            let robo = ToneMap::robo(self.n_carriers);
+            let robo = self.robo.clone();
             return self.drain_pbs(f, robo, budget);
         }
         self.drain_pbs(f, map, budget)
@@ -910,18 +930,27 @@ impl PlcSim {
                 .is_none_or(|t| now.saturating_since(t) >= gap)
         };
         if refresh_needed {
-            // Snapshot the spectrum (degraded under capture: the receiver
-            // cannot tell collision noise from channel noise — §8.2).
-            let spec = self.spectrum(src, dst, slot).clone();
+            self.refresh_spectrum(src, dst, slot);
+            let cached = &self
+                .spectra
+                .get(&(src, dst, slot as u8))
+                .expect("just refreshed")
+                .spec;
+            // Degraded under capture: the receiver cannot tell collision
+            // noise from channel noise — §8.2. Only that path copies.
+            let degraded;
             let spec = match degraded_to {
-                Some(sinr) => SnrSpectrum {
-                    snr_db: spec.snr_db.iter().map(|s| s.min(sinr)).collect(),
-                },
-                None => spec,
+                Some(sinr) => {
+                    degraded = SnrSpectrum {
+                        snr_db: cached.snr_db.iter().map(|s| s.min(sinr)).collect(),
+                    };
+                    &degraded
+                }
+                None => cached,
             };
             let rx = self.rx.get_mut(&(src, dst)).expect("created above");
             rx.estimator
-                .observe(&mut self.rng, slot, &spec, n_sym, pbs_len as u32);
+                .observe(&mut self.rng, slot, spec, n_sym, pbs_len as u32);
             rx.last_observe = Some(now);
         }
         // Tone-map maintenance.
@@ -968,10 +997,9 @@ impl PlcSim {
             *packets.entry(pb.packet_seq).or_insert(0) += 1;
         }
         for r in receivers {
-            let pberr = {
-                let spec = self.spectrum(src, r, slot).clone();
-                pb_error_prob(map, &spec)
-            };
+            // Memoized per (link, slot, tone-map id): broadcast frames all
+            // use the ROBO map, so this is one pb_error_prob per refresh.
+            let pberr = self.pberr_for(src, r, slot, map);
             let mut lost_pkts = 0u64;
             let mut ok_pkts = 0u64;
             for n_pbs in packets.values() {

@@ -122,6 +122,13 @@ impl CarrierPlan {
     pub fn freqs_mhz(&self) -> &[f64] {
         &self.freqs_mhz
     }
+
+    /// `√f` of carrier `i` (frequency in MHz). The cable attenuation
+    /// model is `alpha · √f · length`, so channel-side caches build their
+    /// per-carrier attenuation prefixes from this.
+    pub fn freq_sqrt_mhz(&self, i: usize) -> f64 {
+        self.freqs_mhz[i].sqrt()
+    }
 }
 
 #[cfg(test)]

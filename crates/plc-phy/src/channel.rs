@@ -31,8 +31,10 @@ use serde::{Deserialize, Serialize};
 use simnet::appliance::{ApplianceProfile, CABLE_Z0_OHMS};
 use simnet::grid::{Grid, NodeId, NodeKind};
 use simnet::noise::{impulse_at, ValueNoise};
+use simnet::obs::Counter;
 use simnet::schedule::Schedule;
 use simnet::time::Time;
+use std::cell::RefCell;
 
 /// Direction of a (bidirectional) physical link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -190,12 +192,116 @@ pub struct SnrSpectrum {
 }
 
 impl SnrSpectrum {
+    /// An empty spectrum buffer, for reuse with
+    /// [`PlcChannel::spectrum_into`] /
+    /// [`PlcChannel::spectrum_at_phase_into`].
+    pub fn empty() -> Self {
+        SnrSpectrum { snr_db: Vec::new() }
+    }
+
     /// Mean SNR over carriers, dB.
     pub fn mean_db(&self) -> f64 {
         if self.snr_db.is_empty() {
             return f64::NAN;
         }
         self.snr_db.iter().sum::<f64>() / self.snr_db.len() as f64
+    }
+}
+
+/// One reflected propagation path at an instant. Direction-independent:
+/// the echo geometry depends only on which tap loads are switched on.
+#[derive(Debug, Clone)]
+struct EchoState {
+    gamma: f64,
+    extra_len_m: f64,
+}
+
+/// Per-carrier vectors that never change over the life of a channel:
+/// cable attenuation, frequency-selective clutter and the low-frequency
+/// noise-floor shape. Built once (at [`PlcChannel::from_grid`] time, or
+/// lazily after deserialization) with the exact floating-point
+/// expressions of the reference evaluator, so composed spectra stay
+/// bit-identical.
+#[derive(Debug, Clone, Default)]
+struct StaticTerms {
+    /// `cable_alpha · √f` per carrier — the attenuation slope shared by
+    /// the direct path (`· length_m`) and every echo stub
+    /// (`· extra_len_m`).
+    alpha_root_f: Vec<f64>,
+    /// Direct-path cable attenuation, dB.
+    cable_db: Vec<f64>,
+    /// Static frequency-selective clutter, dB.
+    clutter_db: Vec<f64>,
+    /// Low-frequency excess of the noise floor, dB.
+    lowfreq_db: Vec<f64>,
+}
+
+/// Multipath terms for one **appliance epoch** — one on/off configuration
+/// of the tap loads. Appliance schedules flip on minutes timescales while
+/// spectra are sampled every ~200 ms of sim time, so these survive
+/// thousands of evaluations between rebuilds.
+#[derive(Debug, Clone, Default)]
+struct EpochTerms {
+    valid: bool,
+    /// The epoch key: every tap load's `schedule.is_on(t)` bit, packed
+    /// into 64-bit words in tap-then-load iteration order. Bare branches
+    /// contribute no bits (their state never changes).
+    key: Vec<u64>,
+    /// Scratch for the candidate key of the current call, kept to avoid
+    /// reallocating per evaluation.
+    key_scratch: Vec<u64>,
+    /// Summed transit loss past all loaded taps, dB.
+    transit_db_total: f64,
+    /// Per-carrier multipath interference term, dB.
+    mp_db: Vec<f64>,
+    /// Echo scratch, reused across rebuilds.
+    echoes: Vec<EchoState>,
+}
+
+/// Cache-effectiveness counters, registered lazily against the ambient
+/// `simnet::obs` registry at first use. Observation is inert: counting
+/// never feeds back into the spectra.
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    epoch_hits: Counter,
+    epoch_rebuilds: Counter,
+}
+
+impl CacheMetrics {
+    fn register() -> Self {
+        let obs = simnet::obs::current();
+        let reg = obs.registry();
+        CacheMetrics {
+            epoch_hits: reg.counter("plc.phy.spectrum.epoch_hits"),
+            epoch_rebuilds: reg.counter("plc.phy.spectrum.epoch_rebuilds"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CacheState {
+    stat: Option<StaticTerms>,
+    epoch: EpochTerms,
+    metrics: Option<CacheMetrics>,
+}
+
+/// Interior-mutable spectrum cache. Deliberately **not** serialized: the
+/// contents are derived state, so a deserialized channel starts cold and
+/// rebuilds bit-identical values on first use.
+#[derive(Debug, Clone, Default)]
+struct SpectrumCache {
+    state: RefCell<CacheState>,
+}
+
+impl Serialize for SpectrumCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for SpectrumCache {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SpectrumCache::default())
     }
 }
 
@@ -216,6 +322,9 @@ pub struct PlcChannel {
     /// floor.
     static_noise_a_db: f64,
     static_noise_b_db: f64,
+    /// Derived-state cache (static per-carrier vectors + the multipath
+    /// terms of the current appliance epoch). Never serialized.
+    cache: SpectrumCache,
 }
 
 /// Minimum effective stub length: even an appliance "at" an outlet sits
@@ -309,7 +418,7 @@ impl PlcChannel {
             let u = (ValueNoise::new(link_seed ^ tag).eval(0.5) + 1.0) / 2.0;
             params.static_noise_max_db * u.powi(4)
         };
-        Some(PlcChannel {
+        let ch = PlcChannel {
             plan: technology.carrier_plan(),
             params,
             length_m: path.length_m,
@@ -322,7 +431,12 @@ impl PlcChannel {
             cycle_ba: ValueNoise::new(link_seed ^ 0xBA),
             static_noise_a_db: static_draw(0x57A7_000A),
             static_noise_b_db: static_draw(0x57A7_000B),
-        })
+            cache: SpectrumCache::default(),
+        };
+        // Warm the static per-carrier vectors now: every spectrum of this
+        // link needs them and they never change.
+        ch.cache.state.borrow_mut().stat = Some(ch.build_static_terms());
+        Some(ch)
     }
 
     /// The carrier plan in use.
@@ -428,11 +542,208 @@ impl PlcChannel {
         self.spectrum_at_phase(dir, t, t.half_cycle_phase())
     }
 
+    /// Like [`PlcChannel::spectrum`], but writing into a caller-owned
+    /// buffer (cleared first) so refresh loops reuse one allocation.
+    pub fn spectrum_into(&self, dir: LinkDir, t: Time, out: &mut SnrSpectrum) {
+        self.spectrum_at_phase_into(dir, t, t.half_cycle_phase(), out);
+    }
+
     /// Per-carrier SNR for one direction at instant `t`, with the
     /// mains-synchronous noise evaluated at an explicit `phase` of the
     /// half mains cycle. Use this to characterize tone-map slots without
     /// waiting for the right instant.
     pub fn spectrum_at_phase(&self, dir: LinkDir, t: Time, phase: f64) -> SnrSpectrum {
+        let mut out = SnrSpectrum {
+            snr_db: Vec::with_capacity(self.plan.len()),
+        };
+        self.spectrum_at_phase_into(dir, t, phase, &mut out);
+        out
+    }
+
+    /// [`PlcChannel::spectrum_at_phase`] into a caller-owned buffer.
+    ///
+    /// This is the cached hot path. The spectrum decomposes into
+    ///
+    /// * **static per-carrier vectors** (cable, clutter, low-frequency
+    ///   noise shape) — computed once per channel;
+    /// * **epoch per-carrier terms** (multipath interference, tap transit
+    ///   loss) — functions of the tap on/off bitmask only, rebuilt when a
+    ///   schedule transition changes that key;
+    /// * **frequency-flat scalars** (coupling, ambient noise, cycle
+    ///   fluctuation, board loss) — cheap, recomputed every call.
+    ///
+    /// The composition performs the same floating-point operations in the
+    /// same association order as [`PlcChannel::spectrum_at_phase_reference`],
+    /// so results are **bit-identical** to the uncached evaluator
+    /// (property-tested in `tests/spectrum_cache.rs`).
+    pub fn spectrum_at_phase_into(&self, dir: LinkDir, t: Time, phase: f64, out: &mut SnrSpectrum) {
+        let p = &self.params;
+        let (src_local, dst_local, cycle, dst_static_db) = match dir {
+            LinkDir::AtoB => (
+                &self.local_a,
+                &self.local_b,
+                &self.cycle_ab,
+                self.static_noise_b_db,
+            ),
+            LinkDir::BtoA => (
+                &self.local_b,
+                &self.local_a,
+                &self.cycle_ba,
+                self.static_noise_a_db,
+            ),
+        };
+        // --- Frequency-flat, direction-dependent scalars (cheap).
+        let coupling_db = p.injection_weight * self.coupling_loss_db(src_local, t)
+            + p.extraction_weight * self.coupling_loss_db(dst_local, t);
+        let ambient_db = self.appliance_noise_db(dst_local, t, phase, dst_static_db);
+        let sigma = p.cycle_sigma_base_db + p.cycle_sigma_per_noise_db * ambient_db;
+        let cycle_db = cycle.fbm(t.as_secs_f64() / p.cycle_corr_s, 2) * 2.0 * sigma;
+        let board_db = self.boards_crossed as f64 * p.board_transit_db;
+        // --- Cached per-carrier vectors.
+        let mut guard = self.cache.state.borrow_mut();
+        let state = &mut *guard;
+        let st = state.stat.get_or_insert_with(|| self.build_static_terms());
+        let metrics = state.metrics.get_or_insert_with(CacheMetrics::register);
+        let ep = &mut state.epoch;
+        self.epoch_key_into(t, &mut ep.key_scratch);
+        if ep.valid && ep.key == ep.key_scratch {
+            metrics.epoch_hits.inc();
+        } else {
+            metrics.epoch_rebuilds.inc();
+            std::mem::swap(&mut ep.key, &mut ep.key_scratch);
+            self.rebuild_epoch(t, st, ep);
+            ep.valid = true;
+        }
+        // --- Compose. Exact association order of the reference evaluator.
+        let n = self.plan.len();
+        out.snr_db.clear();
+        out.snr_db.reserve(n);
+        for i in 0..n {
+            let atten_db =
+                st.cable_db[i] + ep.transit_db_total + board_db + st.clutter_db[i] + coupling_db
+                    - ep.mp_db[i];
+            let floor_db = p.noise_floor_dbm_hz + st.lowfreq_db[i] + ambient_db + cycle_db;
+            out.snr_db.push(p.tx_psd_dbm_hz - atten_db - floor_db);
+        }
+    }
+
+    /// Static per-carrier terms, with the exact expressions (and float
+    /// association) of the reference evaluator.
+    fn build_static_terms(&self) -> StaticTerms {
+        let p = &self.params;
+        let n = self.plan.len();
+        let clutter_scale = (self.length_m / 25.0).powf(0.7).min(1.3);
+        let mut st = StaticTerms {
+            alpha_root_f: Vec::with_capacity(n),
+            cable_db: Vec::with_capacity(n),
+            clutter_db: Vec::with_capacity(n),
+            lowfreq_db: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let f_mhz = self.plan.freq_mhz(i);
+            // `cable_alpha * f.sqrt() * len` associates left-to-right, so
+            // caching the `cable_alpha * √f` prefix preserves every bit of
+            // both the direct-path term and the echo stub term.
+            let alpha_root_f = p.cable_alpha * self.plan.freq_sqrt_mhz(i);
+            st.alpha_root_f.push(alpha_root_f);
+            st.cable_db.push(alpha_root_f * self.length_m);
+            st.clutter_db
+                .push(p.clutter_db * (1.0 + self.clutter.fbm(f_mhz / 2.0, 2)) * clutter_scale);
+            st.lowfreq_db
+                .push(p.noise_lowfreq_db * (-f_mhz / p.noise_knee_mhz).exp());
+        }
+        st
+    }
+
+    /// Pack every tap load's on/off state at `t` into `key` (64 states
+    /// per word, tap-then-load order). Bare branches are static and
+    /// contribute no bits.
+    fn epoch_key_into(&self, t: Time, key: &mut Vec<u64>) {
+        key.clear();
+        let mut word = 0u64;
+        let mut bits = 0u32;
+        for tap in &self.taps {
+            for load in &tap.loads {
+                if load.schedule.is_on(t) {
+                    word |= 1u64 << bits;
+                }
+                bits += 1;
+                if bits == 64 {
+                    key.push(word);
+                    word = 0;
+                    bits = 0;
+                }
+            }
+        }
+        if bits > 0 {
+            key.push(word);
+        }
+    }
+
+    /// Rebuild the epoch-dependent terms (echo set, tap transit loss,
+    /// per-carrier multipath) for the load configuration at `t`. The loops
+    /// are verbatim from the reference evaluator, except that the echo
+    /// stub attenuation reuses the cached `cable_alpha · √f` prefix
+    /// (same association order, hence bit-identical).
+    fn rebuild_epoch(&self, t: Time, st: &StaticTerms, ep: &mut EpochTerms) {
+        let p = &self.params;
+        ep.transit_db_total = 0.0;
+        ep.echoes.clear();
+        for tap in &self.taps {
+            // Combine loads in parallel (admittances add).
+            let mut y = 0.0f64;
+            for load in &tap.loads {
+                let z = if load.schedule.is_on(t) {
+                    load.profile.impedance_on_ohms
+                } else {
+                    load.profile.impedance_off_ohms
+                } + load.stub_m * p.stub_ohms_per_m;
+                y += 1.0 / z;
+                let z_alone = z;
+                let gamma_alone = tap_reflection(z_alone, CABLE_Z0_OHMS);
+                ep.echoes.push(EchoState {
+                    gamma: gamma_alone,
+                    extra_len_m: 2.0 * load.stub_m,
+                });
+            }
+            for _ in 0..tap.bare_branches {
+                y += 1.0 / (CABLE_Z0_OHMS + BARE_BRANCH_STUB_M * p.stub_ohms_per_m);
+                ep.echoes.push(EchoState {
+                    gamma: tap_reflection(CABLE_Z0_OHMS, CABLE_Z0_OHMS),
+                    extra_len_m: 2.0 * BARE_BRANCH_STUB_M,
+                });
+            }
+            if y > 0.0 {
+                let gamma_tap = tap_reflection(1.0 / y, CABLE_Z0_OHMS);
+                ep.transit_db_total += p.tap_transit_scale * tap_transit_db(gamma_tap);
+            }
+        }
+        let n = self.plan.len();
+        ep.mp_db.clear();
+        ep.mp_db.reserve(n);
+        for i in 0..n {
+            let f_mhz = self.plan.freq_mhz(i);
+            // Multipath interference relative to the direct ray.
+            let mut re = 1.0f64;
+            let mut im = 0.0f64;
+            for e in &ep.echoes {
+                let extra_cable_db = st.alpha_root_f[i] * e.extra_len_m;
+                let amp = p.echo_gain * e.gamma * 10f64.powf(-extra_cable_db / 20.0);
+                let tau_s = e.extra_len_m / PROPAGATION_M_PER_S;
+                let theta = 2.0 * std::f64::consts::PI * f_mhz * 1e6 * tau_s;
+                re -= amp * theta.cos(); // reflection inverts polarity (Γ<0 for shunts)
+                im += amp * theta.sin();
+            }
+            ep.mp_db
+                .push((20.0 * (re * re + im * im).sqrt().max(1e-9).log10()).max(MAX_NULL_DB));
+        }
+    }
+
+    /// The original, uncached evaluator, kept as the ground truth the
+    /// cache must reproduce bit-for-bit: `tests/spectrum_cache.rs`
+    /// property-tests [`PlcChannel::spectrum_at_phase`] against this, and
+    /// the criterion benches use it as the cold baseline.
+    pub fn spectrum_at_phase_reference(&self, dir: LinkDir, t: Time, phase: f64) -> SnrSpectrum {
         let p = &self.params;
         let (src_local, dst_local, cycle, dst_static_db) = match dir {
             LinkDir::AtoB => (
@@ -449,10 +760,6 @@ impl PlcChannel {
             ),
         };
         // --- Direction-independent tap states at time t.
-        struct EchoState {
-            gamma: f64,
-            extra_len_m: f64,
-        }
         let mut transit_db_total = 0.0;
         let mut echoes: Vec<EchoState> = Vec::new();
         for tap in &self.taps {
@@ -784,5 +1091,70 @@ mod tests {
         assert!(tap_transit_db(0.0) < 1e-9);
         assert!(tap_transit_db(0.3) > 0.0);
         assert!(tap_transit_db(0.6) > tap_transit_db(0.3));
+    }
+
+    #[test]
+    fn cached_spectrum_is_bit_identical_to_reference() {
+        let (g, a, b) = straight_link(true, 'j');
+        let c = chan(&g, a, b);
+        for (k, &dir) in [LinkDir::AtoB, LinkDir::BtoA].iter().enumerate() {
+            for step in 0..24u64 {
+                let t = Time::from_millis(step * 3_600_000 / 3 + k as u64);
+                let phase = (step as f64 + 0.5) / 24.0;
+                let reference = c.spectrum_at_phase_reference(dir, t, phase);
+                let cached = c.spectrum_at_phase(dir, t, phase);
+                assert_eq!(reference.snr_db.len(), cached.snr_db.len());
+                for (i, (r, w)) in reference.snr_db.iter().zip(&cached.snr_db).enumerate() {
+                    assert_eq!(
+                        r.to_bits(),
+                        w.to_bits(),
+                        "carrier {i} diverged at t={t:?} dir={dir:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_into_reuses_buffer_and_matches() {
+        let (g, a, b) = straight_link(true, 'j');
+        let c = chan(&g, a, b);
+        let mut buf = SnrSpectrum::empty();
+        for step in 0..4u64 {
+            let t = Time::from_secs(step * 600);
+            c.spectrum_into(LinkDir::AtoB, t, &mut buf);
+            let fresh = c.spectrum(LinkDir::AtoB, t);
+            assert_eq!(buf.snr_db, fresh.snr_db);
+        }
+    }
+
+    #[test]
+    fn schedule_transition_invalidates_epoch() {
+        // A load on BuildingLights flips its on/off state between noon
+        // and 23:00; the epoch key must change and force a rebuild, while
+        // repeated samples in the same state must hit the cache.
+        let mut g = Grid::new();
+        let a = g.add_outlet("A");
+        let j = g.add_junction("J");
+        let b = g.add_outlet("B");
+        g.connect(a, j, 20.0);
+        g.connect(j, b, 20.0);
+        let o = g.add_outlet("L");
+        g.connect(j, o, 3.0);
+        g.attach(o, ApplianceKind::Lighting, Schedule::BuildingLights);
+        let obs = simnet::obs::Obs::new();
+        simnet::obs::with_default(obs.clone(), || {
+            let c = chan(&g, a, b);
+            let noon = Time::from_hours(12);
+            let night = Time::from_hours(23);
+            c.spectrum(LinkDir::AtoB, noon); // rebuild (cold)
+            c.spectrum(LinkDir::AtoB, noon + simnet::time::Duration::from_millis(5)); // hit
+            c.spectrum(LinkDir::AtoB, night); // rebuild (schedule flipped)
+            c.spectrum(LinkDir::AtoB, night + simnet::time::Duration::from_secs(1));
+            // hit
+        });
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("plc.phy.spectrum.epoch_rebuilds"), 2);
+        assert_eq!(snap.counter("plc.phy.spectrum.epoch_hits"), 2);
     }
 }

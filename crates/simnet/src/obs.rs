@@ -139,6 +139,24 @@ impl Histo {
         self.0.sum.get()
     }
 
+    /// Merge a snapshot's buckets back into this histogram (used when a
+    /// worker thread's registry is folded into the parent's).
+    fn absorb(&self, snap: &HistoSnapshot) {
+        let mut buckets = self.0.buckets.borrow_mut();
+        for &(le, c) in &snap.buckets {
+            // Invert the snapshot encoding: le 0 → bucket 0, otherwise
+            // le = 2^i - 1 → bucket i (u64::MAX lands in the last one).
+            let idx = if le == 0 {
+                0
+            } else {
+                64 - le.leading_zeros() as usize
+            };
+            buckets[idx] += c;
+        }
+        self.0.count.set(self.0.count.get() + snap.count);
+        self.0.sum.set(self.0.sum.get().wrapping_add(snap.sum));
+    }
+
     fn snapshot(&self) -> HistoSnapshot {
         let buckets = self.0.buckets.borrow();
         let filled = buckets
@@ -224,6 +242,25 @@ impl Registry {
         let h = Histo::default();
         inner.histos.push((name.to_string(), h.clone()));
         h
+    }
+
+    /// Fold a [`MetricsSnapshot`] into this registry: counters and histo
+    /// samples add, gauges take the absorbed value (last absorb wins).
+    ///
+    /// This is how parallel sweeps stay observable without sharing `Rc`
+    /// instruments across threads: each worker runs under its own fresh
+    /// [`Obs`], returns the (Send) snapshot, and the coordinator absorbs
+    /// the snapshots in deterministic (chunk) order.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snap.histos {
+            self.histo(name).absorb(h);
+        }
     }
 
     /// Deterministic snapshot of every instrument, sorted by name.
@@ -690,6 +727,39 @@ mod tests {
             hs.buckets,
             vec![(0, 1), (1, 1), (3, 2), (7, 1), (2047, 1), (u64::MAX, 1)]
         );
+    }
+
+    #[test]
+    fn absorb_merges_snapshots_into_registry() {
+        // A "worker" registry records in isolation…
+        let worker = Registry::new();
+        worker.counter("hits").add(3);
+        worker.gauge("depth").set(2.5);
+        for v in [0, 1, 1024, u64::MAX] {
+            worker.histo("sizes").record(v);
+        }
+        let snap = worker.snapshot();
+        // …and folds into a parent that already has overlapping series.
+        let parent = Registry::new();
+        parent.counter("hits").add(4);
+        parent.histo("sizes").record(1024);
+        parent.absorb(&snap);
+        let merged = parent.snapshot();
+        assert_eq!(merged.counter("hits"), 7);
+        assert_eq!(merged.gauges, vec![("depth".to_string(), 2.5)]);
+        let hs = &merged.histos[0].1;
+        assert_eq!(hs.count, 5);
+        assert_eq!(
+            hs.sum,
+            1u64.wrapping_add(1024)
+                .wrapping_add(1024)
+                .wrapping_add(u64::MAX)
+        );
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2047, 2), (u64::MAX, 1)]);
+        // Absorbing twice keeps adding counters (idempotence is the
+        // caller's job — each worker snapshot is absorbed exactly once).
+        parent.absorb(&snap);
+        assert_eq!(parent.snapshot().counter("hits"), 10);
     }
 
     #[test]

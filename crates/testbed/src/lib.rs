@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use plc_phy::channel::{LinkDir, PlcChannel, PlcChannelParams};
 use plc_phy::PlcTechnology;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,143 @@
+//! Deterministic parallel sweeps over independent link measurements.
+//!
+//! The spatial/capacity experiments iterate over station pairs and
+//! measure each pair with a **pure, per-pair-seeded** function — no state
+//! is carried from one pair to the next. That makes the loops
+//! embarrassingly parallel, *provided* the parallel schedule cannot leak
+//! into the results:
+//!
+//! * items are split into contiguous chunks and results are collected in
+//!   item-index order, so the output `Vec` is byte-identical to a
+//!   sequential run;
+//! * each worker thread runs under its own fresh [`Obs`](simnet::obs::Obs)
+//!   (the `Rc`-based instruments are intentionally `!Send`) and returns a
+//!   [`MetricsSnapshot`]; the coordinator folds the snapshots into the
+//!   ambient registry in chunk order, so same-seed metric totals are
+//!   reproducible too. Structured *events* raised inside workers are
+//!   dropped — sweeps record metrics, not event streams.
+//!
+//! Thread count comes from `ELECTRIFI_THREADS` (0 or 1 forces the
+//! sequential path) or `std::thread::available_parallelism()`.
+
+use simnet::obs::{self, MetricsSnapshot, Obs};
+
+/// Environment variable overriding the sweep worker count.
+pub const THREADS_ENV: &str = "ELECTRIFI_THREADS";
+
+/// Number of workers a sweep over `n_items` items would use.
+pub fn thread_count(n_items: usize) -> usize {
+    let hw = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.clamp(1, n_items.max(1))
+}
+
+/// Map `f` over `items` in parallel, returning results in item order.
+///
+/// `f(i, &items[i])` must be pure with respect to sweep order (derive any
+/// randomness from the item itself, e.g. a per-link seed): the output is
+/// then byte-identical to `items.iter().enumerate().map(...)`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_workers(items, thread_count(items.len()), f)
+}
+
+/// [`par_map`] with an explicit worker count (exposed for tests).
+pub fn par_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        // Sequential fast path: runs under the ambient Obs directly.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let f = &f;
+    // Each worker returns (results, metrics) for one contiguous chunk;
+    // chunks are then concatenated and absorbed in index order, so the
+    // thread schedule cannot influence anything observable.
+    let per_chunk: Vec<(Vec<R>, MetricsSnapshot)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(k, chunk)| {
+                scope.spawn(move || {
+                    let obs = Obs::new();
+                    let results = obs::with_default(obs.clone(), || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(j, t)| f(k * chunk_len + j, t))
+                            .collect::<Vec<R>>()
+                    });
+                    (results, obs.registry().snapshot())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let ambient = obs::current();
+    let mut out = Vec::with_capacity(items.len());
+    for (results, snap) in per_chunk {
+        ambient.registry().absorb(&snap);
+        out.extend(results);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let seq = par_map_workers(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
+        for workers in [2, 3, 5, 8, 64] {
+            let par = par_map_workers(&items, workers, |i, &x| (i as u64) * 1000 + x * x);
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_metrics_fold_into_ambient_registry() {
+        let obs = Obs::new();
+        let items: Vec<u64> = (0..10).collect();
+        obs::with_default(obs.clone(), || {
+            par_map_workers(&items, 4, |_, &x| {
+                obs::current().registry().counter("sweep.work").add(x);
+                x
+            });
+        });
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("sweep.work"), (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_items() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(1_000_000) >= 1);
+    }
+}

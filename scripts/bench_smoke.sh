@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Perf smoke: time the PLC spectrum hot path (uncached reference vs the
+# epoch-keyed cache) and record the result as out/BENCH_channel.json —
+# seed, wall clock per path, speedup, cache hit rate. Fast enough to run
+# on every change; pass --criterion to also run the full criterion
+# component benches (slower).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench_channel (writes out/BENCH_channel.json) =="
+cargo build --release -q -p electrifi-bench --bin bench_channel
+./target/release/bench_channel
+
+if [[ "${1:-}" == "--criterion" ]]; then
+    echo "== criterion component benches =="
+    cargo bench -p electrifi-bench --bench components
+fi
