@@ -1,0 +1,178 @@
+//! Campaign runner: expand a campaign file (scenarios × seeds ×
+//! workloads) into a work list, shard it deterministically across
+//! workers, and write per-run manifests plus a campaign summary.
+//!
+//! ```text
+//! campaign <campaign.json> [--list] [--dry-run] [--filter SUBSTR]
+//!          [--workers N] [--out DIR]
+//! ```
+//!
+//! * `--list` prints the expanded run names and exits;
+//! * `--dry-run` validates the campaign and every scenario it references
+//!   (materialising each grid once) without measuring anything;
+//! * `--filter` keeps only runs whose name contains the substring;
+//! * `--workers` overrides the shard count (default: `ELECTRIFI_THREADS`
+//!   or all cores). The summary is byte-identical for any worker count.
+
+use electrifi_scenario::campaign::{run_campaign, write_artifacts, CampaignSpec};
+use electrifi_scenario::loader::Scenario;
+use electrifi_testbed::sweep;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    campaign: String,
+    list: bool,
+    dry_run: bool,
+    filter: Option<String>,
+    workers: Option<usize>,
+    out: PathBuf,
+}
+
+const USAGE: &str = "usage: campaign <campaign.json> [--list] [--dry-run] \
+                     [--filter SUBSTR] [--workers N] [--out DIR]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut campaign = None;
+    let mut list = false;
+    let mut dry_run = false;
+    let mut filter = None;
+    let mut workers = None;
+    let mut out = PathBuf::from("out/campaign");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--dry-run" => dry_run = true,
+            "--filter" => {
+                filter = Some(it.next().ok_or("--filter needs a substring")?);
+            }
+            "--workers" => {
+                let raw = it.next().ok_or("--workers needs a positive integer")?;
+                workers = Some(sweep::parse_threads(&raw).map_err(|e| {
+                    format!("--workers: {}", e.replace(sweep::THREADS_ENV, "the value"))
+                })?);
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"));
+            }
+            other => {
+                if campaign.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one campaign file given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        campaign: campaign.ok_or_else(|| format!("no campaign file given\n{USAGE}"))?,
+        list,
+        dry_run,
+        filter,
+        workers,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CampaignSpec::from_file(&args.campaign) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runs: Vec<_> = spec
+        .expand()
+        .into_iter()
+        .filter(|r| {
+            args.filter
+                .as_deref()
+                .is_none_or(|f| r.run_name.contains(f))
+        })
+        .collect();
+    if runs.is_empty() {
+        eprintln!(
+            "campaign {:?}: no runs match{}",
+            spec.name,
+            args.filter
+                .as_deref()
+                .map(|f| format!(" filter {f:?}"))
+                .unwrap_or_default()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if args.list {
+        for r in &runs {
+            println!("{}", r.run_name);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.dry_run {
+        // Materialise every scenario × seed once so structural problems
+        // surface now, without measuring anything.
+        for r in &runs {
+            let scenario = spec.scenarios[r.scenario_index].clone();
+            if let Err(e) = Scenario::load_with_seed(scenario, r.seed) {
+                eprintln!("campaign: run {}: {e}", r.run_name);
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "campaign {:?}: {} run(s) validated, nothing executed",
+            spec.name,
+            runs.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let workers = args
+        .workers
+        .unwrap_or_else(|| sweep::thread_count(runs.len()));
+    eprintln!(
+        "campaign {:?}: {} run(s) across {} worker(s)",
+        spec.name,
+        runs.len(),
+        workers
+    );
+    let summary = match run_campaign(&spec, workers, args.filter.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_artifacts(&summary, &args.out) {
+        eprintln!("campaign: {e}");
+        return ExitCode::FAILURE;
+    }
+    for run in &summary.runs {
+        let heads: Vec<String> = run
+            .experiments
+            .iter()
+            .flat_map(|e| {
+                e.headline
+                    .iter()
+                    .map(move |(k, v)| format!("{}.{k}={v:.3}", e.kind))
+            })
+            .collect();
+        println!("{:32} {}", run.run, heads.join("  "));
+    }
+    println!(
+        "wrote {} manifest(s) + summary.json to {} (digest {})",
+        summary.runs.len(),
+        args.out.display(),
+        summary.config_digest
+    );
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,20 @@
 //! The experiment environment: testbed plus calibrated model parameters.
+//!
+//! ## Environment variables
+//!
+//! Experiments honour two process-level knobs:
+//!
+//! * `ELECTRIFI_SCALE` — `quick` shrinks durations for smoke runs
+//!   (read by `electrifi-bench::scale_from_env`);
+//! * `ELECTRIFI_THREADS` — sweep worker count, a **positive integer**.
+//!   Parsing is validated (see [`threads_from_env`], re-exported from
+//!   `electrifi_testbed::sweep`): `0` and non-numeric values are
+//!   rejected with a clear message instead of silently changing the
+//!   parallelism. `1` forces sequential sweeps; unset uses all cores.
 
 use electrifi_testbed::{PlcNetwork, StationId, Testbed};
+
+pub use electrifi_testbed::sweep::{parse_threads, threads_from_env, THREADS_ENV};
 use plc_phy::channel::{LinkDir, PlcChannel, PlcChannelParams};
 use plc_phy::estimation::EstimatorConfig;
 use plc_phy::PlcTechnology;
@@ -24,8 +38,22 @@ pub struct PaperEnv {
 impl PaperEnv {
     /// Build the standard environment from a master seed.
     pub fn new(seed: u64) -> Self {
+        Self::from_testbed(Testbed::paper_floor(seed))
+    }
+
+    /// Build the environment around an arbitrary testbed (the paper's
+    /// floor, a scenario file's explicit grid, or a procedurally
+    /// generated one) with the calibrated default model parameters.
+    ///
+    /// Every experiment entry point takes a `&PaperEnv`, so this is the
+    /// hook that makes them scenario-parameterised: the `scenario` crate
+    /// builds testbeds from declarative JSON and runs the same
+    /// experiments over them. Station ids are expected to be the
+    /// contiguous range `0..stations.len()` (the scenario loader
+    /// validates this).
+    pub fn from_testbed(testbed: Testbed) -> Self {
         PaperEnv {
-            testbed: Testbed::paper_floor(seed),
+            testbed,
             plc_params: PlcChannelParams::default(),
             wifi_params: WifiChannelParams::default(),
             estimator: EstimatorConfig::default(),

@@ -54,20 +54,71 @@ pub struct Fig3Result {
     pub max_sigma_plc: f64,
 }
 
+/// Measurement window of a spatial sweep: when it starts, how long each
+/// link is measured, how densely it is sampled, and how many pairs are
+/// kept. This is the scenario-facing knob set — scenario workloads map
+/// directly onto it, while [`fig3`]/[`fig7`] wrap it with the paper's
+/// fixed values.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpatialConfig {
+    /// Measurement start instant (the paper measures during working
+    /// hours).
+    pub start: Time,
+    /// Per-link measurement duration.
+    pub duration: Duration,
+    /// Sampling interval within the window.
+    pub sample: Duration,
+    /// Keep only the first `max_pairs` pairs of the deterministic pair
+    /// order (`None` = all pairs).
+    pub max_pairs: Option<usize>,
+}
+
+impl SpatialConfig {
+    /// The Fig. 3 window at a given scale (5 min of 100 ms samples at
+    /// `Paper` scale, starting 10:00 on a weekday).
+    pub fn fig3(scale: Scale) -> Self {
+        SpatialConfig {
+            start: Time::from_hours(10),
+            duration: scale.dur(Duration::from_secs(300), 30),
+            sample: Duration::from_millis(100),
+            max_pairs: None,
+        }
+    }
+
+    /// The Fig. 7 window at a given scale (60 s per link, 500 ms samples,
+    /// starting 14:00).
+    pub fn fig7(scale: Scale) -> Self {
+        SpatialConfig {
+            start: Time::from_hours(14),
+            duration: scale.dur(Duration::from_secs(60), 20),
+            sample: Duration::from_millis(500),
+            max_pairs: None,
+        }
+    }
+}
+
 /// Run the Fig. 3 experiment: for each station pair, measure both mediums
 /// back-to-back (5 min at 100 ms samples at `Paper` scale) during working
 /// hours.
 pub fn fig3(env: &PaperEnv, scale: Scale) -> Fig3Result {
-    let duration = scale.dur(Duration::from_secs(300), 30);
-    let sample = Duration::from_millis(100);
-    // Weekday working hours.
-    let start = Time::from_hours(10);
+    let mut cfg = SpatialConfig::fig3(scale);
+    cfg.max_pairs = Some(scale.take(env.station_pairs().len(), 12));
+    fig3_with(env, cfg)
+}
+
+/// [`fig3`] with an explicit measurement window — the entry point
+/// scenario workloads use (any testbed, any window).
+pub fn fig3_with(env: &PaperEnv, cfg: SpatialConfig) -> Fig3Result {
+    let duration = cfg.duration;
+    let sample = cfg.sample;
+    let start = cfg.start;
     // Undirected pairs, measured in the a->b (a < b) direction as the
     // paper measures "for each pair of stations".
     let all: Vec<(StationId, StationId)> = {
         let mut v = env.station_pairs();
-        let keep = scale.take(v.len(), 12);
-        v.truncate(keep);
+        if let Some(keep) = cfg.max_pairs {
+            v.truncate(keep);
+        }
         v
     };
     // Each pair's measurement is pure (per-pair seeds), so the sweep fans
@@ -301,10 +352,20 @@ pub struct Fig7Result {
 
 /// Run the Fig. 7 distance study over all directed same-network links.
 pub fn fig7(env: &PaperEnv, scale: Scale) -> Fig7Result {
-    let duration = scale.dur(Duration::from_secs(60), 20);
-    let start = Time::from_hours(14);
+    let mut cfg = SpatialConfig::fig7(scale);
+    cfg.max_pairs = Some(scale.take(env.plc_pairs().len(), 10));
+    fig7_with(env, cfg)
+}
+
+/// [`fig7`] with an explicit measurement window — the entry point
+/// scenario workloads use (any testbed, any window).
+pub fn fig7_with(env: &PaperEnv, cfg: SpatialConfig) -> Fig7Result {
+    let duration = cfg.duration;
+    let start = cfg.start;
     let mut pairs = env.plc_pairs();
-    pairs.truncate(scale.take(pairs.len(), 10));
+    if let Some(keep) = cfg.max_pairs {
+        pairs.truncate(keep);
+    }
     let measure = |a: StationId, b: StationId, tech: PlcTechnology| -> Option<DistanceRow> {
         let cable_m = env
             .testbed
@@ -322,7 +383,7 @@ pub fn fig7(env: &PaperEnv, scale: Scale) -> Fig7Result {
         while t < end {
             sim.saturate_interval(t, t + Duration::from_millis(20), Duration::from_millis(10));
             stats.push(sim.throughput_now(t));
-            t += Duration::from_millis(500);
+            t += cfg.sample;
         }
         let pberr = sim.pberr_cumulative().unwrap_or(0.0);
         if stats.mean() > 0.3 {

@@ -1,0 +1,41 @@
+//! Built-in scenarios addressed by `builtin://` URIs.
+
+use crate::error::ScenarioError;
+use electrifi_testbed::Testbed;
+
+/// URI of the paper's 19-station floor (§3.1 / Fig. 2).
+pub const IMC2015_FLOOR: &str = "builtin://imc2015-floor";
+
+/// All known built-in URIs.
+pub const BUILTINS: &[&str] = &[IMC2015_FLOOR];
+
+/// Resolve a `builtin://` URI to a testbed. The seed controls appliance
+/// placement exactly as in [`Testbed::paper_floor`], so
+/// `builtin://imc2015-floor` with seed 2015 is bit-for-bit the testbed
+/// every hard-coded experiment uses.
+pub fn resolve(uri: &str, seed: u64, field: &str) -> Result<Testbed, ScenarioError> {
+    match uri {
+        IMC2015_FLOOR => Ok(Testbed::paper_floor(seed)),
+        other => Err(ScenarioError::invalid(
+            field,
+            format!(
+                "unknown builtin scenario {other:?} (known: {})",
+                BUILTINS.join(", ")
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_uri_resolves_and_unknown_uri_is_typed() {
+        let t = resolve(IMC2015_FLOOR, 2015, "grid.builtin").expect("known builtin");
+        assert_eq!(t.stations.len(), 19);
+        let err = resolve("builtin://mars-base", 1, "grid.builtin").unwrap_err();
+        assert_eq!(err.field(), Some("grid.builtin"));
+        assert!(err.to_string().contains("imc2015-floor"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Procedural office-building generator.
+//!
+//! Expands a [`GeneratorSpec`] into a [`Testbed`]: `floors ×
+//! boards_per_floor` distribution boards chained through basement risers,
+//! each board feeding a corridor junction chain with `offices_per_board`
+//! office drops, stations in the first `stations_per_board` offices and
+//! an appliance population (PC + monitor per office, corridor lighting,
+//! an IT rack and a kitchenette per board, mix-weighted extras).
+//!
+//! Generation is **purely deterministic**: every random choice is a
+//! splitmix-style hash of the scenario seed and the site's coordinates,
+//! so the same spec and seed always produce byte-identical grids — the
+//! property the campaign determinism tests rely on. Each board forms its
+//! own logical PLC network [`PlcNetwork::Net`].
+
+use crate::spec::GeneratorSpec;
+use electrifi_testbed::{PlcNetwork, Station, StationId, Testbed};
+use simnet::appliance::ApplianceKind;
+use simnet::geometry::{Floor, Point};
+use simnet::grid::Grid;
+use simnet::schedule::Schedule;
+
+/// Floor-plan metres of corridor per office.
+const OFFICE_PITCH_M: f64 = 6.0;
+/// Floor-plan depth of one floor's band on the shared WiFi plane.
+const FLOOR_BAND_M: f64 = 15.0;
+/// Floor-plan margin around each board's office row.
+const BOARD_MARGIN_M: f64 = 8.0;
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pick an appliance kind from the weighted mix using a hash word.
+fn pick_kind(mix_weights: &[(ApplianceKind, f64)], h: u64) -> ApplianceKind {
+    let total: f64 = mix_weights.iter().map(|(_, w)| w).sum();
+    let mut u = (h >> 11) as f64 / (1u64 << 53) as f64 * total;
+    for &(kind, w) in mix_weights {
+        if u < w {
+            return kind;
+        }
+        u -= w;
+    }
+    mix_weights.last().expect("mix is non-empty").0
+}
+
+/// Build a testbed from a generator spec and a master seed.
+///
+/// The spec is assumed validated (the parser enforces bounds); this
+/// function never panics on a validated spec.
+pub fn generate(spec: &GeneratorSpec, seed: u64) -> Testbed {
+    let boards_total = spec.total_boards() as usize;
+    let board_span_m = spec.offices_per_board as f64 * OFFICE_PITCH_M + BOARD_MARGIN_M;
+    let floor = Floor::new(
+        spec.boards_per_floor as f64 * board_span_m,
+        spec.floors as f64 * FLOOR_BAND_M,
+    );
+
+    let mut grid = Grid::new();
+    let mut stations = Vec::new();
+    let mut prev_board = None;
+    let mut next_station: StationId = 0;
+
+    for board_idx in 0..boards_total {
+        let floor_idx = board_idx / spec.boards_per_floor as usize;
+        let col_idx = board_idx % spec.boards_per_floor as usize;
+        let board = grid.add_board(format!("board-{board_idx}"));
+        // Basement riser: boards are chained, so the whole building is one
+        // connected component but inter-board links are hopeless for PLC.
+        if let Some(prev) = prev_board {
+            grid.connect(prev, board, spec.inter_board_cable_m);
+        }
+        prev_board = Some(board);
+        let network = PlcNetwork::Net(board_idx as u16);
+
+        // Corridor: one junction box per office plus the board-side stub.
+        let mut corridor = vec![board];
+        for k in 0..spec.offices_per_board {
+            let j = grid.add_junction(format!("b{board_idx}-j{k}"));
+            let prev = *corridor.last().expect("non-empty");
+            grid.connect(prev, j, spec.corridor_spacing_m);
+            corridor.push(j);
+        }
+
+        // Floor-plan origin of this board's office row.
+        let x0 = col_idx as f64 * board_span_m + BOARD_MARGIN_M / 2.0;
+        let y0 = floor_idx as f64 * FLOOR_BAND_M;
+
+        for office_idx in 0..spec.offices_per_board {
+            let h = mix(seed
+                ^ mix(board_idx as u64 + 1)
+                ^ (office_idx as u64 + 1).wrapping_mul(0x9e37_79b9));
+            let tap = corridor[office_idx as usize + 1];
+            let office = grid.add_junction(format!("b{board_idx}-office-{office_idx}"));
+            grid.connect(tap, office, spec.drop_length_m.sample(h));
+
+            // Desk outlet with the standing office population.
+            let desk = grid.add_outlet(format!("b{board_idx}-desk-{office_idx}"));
+            grid.connect(office, desk, spec.desk_length_m.sample(mix(h ^ 0xD)));
+            grid.attach(
+                desk,
+                ApplianceKind::DesktopPc,
+                Schedule::OfficeHours { seed: h ^ 0x11 },
+            );
+            grid.attach(
+                desk,
+                ApplianceKind::Monitor,
+                Schedule::OfficeHours { seed: h ^ 0x22 },
+            );
+            // Mix-weighted extra socket in roughly half the offices.
+            if h.is_multiple_of(2) {
+                let kind = pick_kind(&spec.appliance_mix, mix(h ^ 0xE));
+                let extra = grid.add_outlet(format!("b{board_idx}-extra-{office_idx}"));
+                grid.connect(office, extra, 1.0 + ((h >> 5) & 3) as f64);
+                grid.attach(
+                    extra,
+                    kind,
+                    Schedule::Sporadic {
+                        p_active: 0.4,
+                        seed: h ^ 0x33,
+                    },
+                );
+            }
+
+            if office_idx < spec.stations_per_board {
+                let st_outlet = grid.add_outlet(format!("b{board_idx}-station-{office_idx}"));
+                grid.connect(office, st_outlet, 1.5);
+                let jitter = |bits: u64| (bits & 0xF) as f64 / 16.0 - 0.5;
+                stations.push(Station {
+                    id: next_station,
+                    outlet: st_outlet,
+                    pos: Point::new(
+                        x0 + office_idx as f64 * OFFICE_PITCH_M + 2.0 + jitter(h >> 9),
+                        y0 + 4.0 + ((h >> 13) & 7) as f64 + jitter(h >> 17),
+                    ),
+                    network,
+                });
+                next_station += 1;
+            }
+        }
+
+        // Corridor lighting on the building-wide 9 pm-off schedule, every
+        // third junction box.
+        for (k, &tap) in corridor.iter().enumerate().skip(1).step_by(3) {
+            let o = grid.add_outlet(format!("b{board_idx}-lights-{k}"));
+            grid.connect(tap, o, 1.0);
+            grid.attach(o, ApplianceKind::Lighting, Schedule::BuildingLights);
+        }
+
+        // One always-on IT rack near the board and one kitchenette fridge
+        // mid-corridor, as on the paper floor.
+        let hb = mix(seed ^ mix(0xB0A2D ^ board_idx as u64));
+        let it = grid.add_outlet(format!("b{board_idx}-it"));
+        grid.connect(corridor[1], it, 2.0);
+        grid.attach(it, ApplianceKind::ItEquipment, Schedule::AlwaysOn);
+        let fridge = grid.add_outlet(format!("b{board_idx}-fridge"));
+        grid.connect(corridor[corridor.len() / 2], fridge, 3.0);
+        grid.attach(
+            fridge,
+            ApplianceKind::Fridge,
+            Schedule::DutyCycle {
+                on_s: 900,
+                off_s: 1800,
+                seed: hb ^ 0x55,
+            },
+        );
+    }
+
+    Testbed {
+        grid,
+        floor,
+        stations,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{default_appliance_mix, DistSpec};
+
+    fn spec(floors: u32, boards: u32, offices: u32, stations: u32) -> GeneratorSpec {
+        GeneratorSpec {
+            floors,
+            boards_per_floor: boards,
+            offices_per_board: offices,
+            stations_per_board: stations,
+            corridor_spacing_m: 4.0,
+            drop_length_m: DistSpec::Uniform {
+                min_m: 3.0,
+                max_m: 9.0,
+            },
+            desk_length_m: DistSpec::Fixed { value_m: 2.5 },
+            inter_board_cable_m: 220.0,
+            appliance_mix: default_appliance_mix(),
+        }
+    }
+
+    #[test]
+    fn generates_the_declared_population() {
+        let t = generate(&spec(2, 2, 6, 4), 42);
+        assert_eq!(t.stations.len(), 2 * 2 * 4);
+        // Station ids are contiguous 0..n.
+        for (i, s) in t.stations.iter().enumerate() {
+            assert_eq!(s.id as usize, i);
+        }
+        // One network per board, 4 members each.
+        for b in 0..4u16 {
+            assert_eq!(t.network_members(PlcNetwork::Net(b)).len(), 4);
+        }
+        assert!(t.grid.appliances().len() >= 2 * 2 * 6 * 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec(1, 2, 5, 3), 7);
+        let b = generate(&spec(1, 2, 5, 3), 7);
+        assert_eq!(
+            serde_json::to_string(&a.grid).expect("grids serialize"),
+            serde_json::to_string(&b.grid).expect("grids serialize"),
+        );
+        assert_eq!(a.stations, b.stations);
+    }
+
+    #[test]
+    fn all_station_outlets_are_wired_to_a_board() {
+        let t = generate(&spec(2, 1, 4, 2), 3);
+        let board0 = t.grid.node_count() > 0;
+        assert!(board0);
+        for s in &t.stations {
+            // Board node of the first board is NodeId(0) by construction.
+            assert!(
+                t.grid
+                    .cable_distance(s.outlet, simnet::grid::NodeId(0))
+                    .is_some(),
+                "station {} disconnected",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn same_board_links_are_usable_and_cross_board_links_are_not() {
+        let t = generate(&spec(1, 2, 6, 3), 11);
+        let d_same = t.cable_distance_m(0, 1).expect("wired");
+        let d_cross = t.cable_distance_m(0, 3).expect("wired via riser");
+        assert!(d_same < 100.0, "same-board distance {d_same}");
+        assert!(d_cross > 200.0, "cross-board distance {d_cross}");
+    }
+
+    #[test]
+    fn positions_fit_the_generated_floor() {
+        let s = spec(3, 2, 8, 5);
+        let t = generate(&s, 99);
+        let w = 2.0 * (8.0 * OFFICE_PITCH_M + BOARD_MARGIN_M);
+        let d = 3.0 * FLOOR_BAND_M;
+        for st in &t.stations {
+            assert!((0.0..=w).contains(&st.pos.x), "station {}", st.id);
+            assert!((0.0..=d).contains(&st.pos.y), "station {}", st.id);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Campaign determinism, file-based: the same campaign file produces a
+//! byte-identical summary on rerun and for any shard count, and the
+//! shipped demo files expand as documented.
+
+use electrifi_scenario::campaign::{run_campaign, write_artifacts, CampaignSpec};
+use std::path::Path;
+
+/// Repo-root `scenarios/` dir (tests run from the crate directory).
+fn scenarios_dir() -> &'static Path {
+    Path::new("../../scenarios")
+}
+
+#[test]
+fn smoke_campaign_summary_is_byte_identical_across_reruns_and_shards() {
+    let path = scenarios_dir().join("smoke-campaign.json");
+    let spec = CampaignSpec::from_file(path.to_str().unwrap()).expect("smoke campaign parses");
+
+    let runs = spec.expand();
+    assert_eq!(runs.len(), 2, "2 scenarios × 1 seed × 1 workload");
+
+    let first = run_campaign(&spec, 1, None).expect("runs");
+    let rerun = run_campaign(&spec, 1, None).expect("runs");
+    let sharded = run_campaign(&spec, 3, None).expect("runs");
+
+    let json = |s| serde_json::to_string_pretty(s).unwrap();
+    assert_eq!(json(&first), json(&rerun), "rerun must be byte-identical");
+    assert_eq!(
+        json(&first),
+        json(&sharded),
+        "shard count must not leak into the summary"
+    );
+    assert_eq!(first.config_digest, sharded.config_digest);
+}
+
+#[test]
+fn demo_campaign_expands_to_eight_sharded_runs() {
+    let path = scenarios_dir().join("demo-campaign.json");
+    let spec = CampaignSpec::from_file(path.to_str().unwrap()).expect("demo campaign parses");
+    let runs = spec.expand();
+    assert_eq!(runs.len(), 8, "2 scenarios × 2 seeds × 2 workloads");
+    // Names are unique — they become file names.
+    let mut names: Vec<_> = runs.iter().map(|r| r.run_name.clone()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 8);
+}
+
+#[test]
+fn artifacts_round_trip_through_disk() {
+    let path = scenarios_dir().join("smoke-campaign.json");
+    let spec = CampaignSpec::from_file(path.to_str().unwrap()).expect("parses");
+    let summary = run_campaign(&spec, 2, Some("smoke-gen")).expect("runs");
+    assert_eq!(summary.runs.len(), 1);
+
+    let out = std::env::temp_dir().join(format!("electrifi-campaign-test-{}", std::process::id()));
+    write_artifacts(&summary, &out).expect("artifacts write");
+    let on_disk = std::fs::read_to_string(out.join("summary.json")).expect("summary exists");
+    assert_eq!(on_disk, serde_json::to_string_pretty(&summary).unwrap());
+    for run in &summary.runs {
+        assert!(
+            out.join(format!("{}.manifest.json", run.run)).exists(),
+            "per-run manifest missing for {}",
+            run.run
+        );
+    }
+    std::fs::remove_dir_all(&out).ok();
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the procedural grid generator: every
+//! validated spec yields a connected grid with at least one board and
+//! at least two stations, contiguous station ids, in-bounds positions —
+//! and generation is deterministic per (spec, seed).
+
+use electrifi_scenario::generate::generate;
+use electrifi_scenario::spec::{default_appliance_mix, DistSpec, GeneratorSpec};
+use proptest::prelude::*;
+use simnet::grid::{NodeId, NodeKind};
+
+fn spec(
+    floors: u32,
+    boards_per_floor: u32,
+    offices_per_board: u32,
+    stations_per_board: u32,
+    drop_min: f64,
+    drop_span: f64,
+) -> GeneratorSpec {
+    GeneratorSpec {
+        floors,
+        boards_per_floor,
+        offices_per_board,
+        stations_per_board,
+        corridor_spacing_m: 4.0,
+        drop_length_m: DistSpec::Uniform {
+            min_m: drop_min,
+            max_m: drop_min + drop_span,
+        },
+        desk_length_m: DistSpec::Fixed { value_m: 2.5 },
+        inter_board_cable_m: 220.0,
+        appliance_mix: default_appliance_mix(),
+    }
+}
+
+proptest! {
+    /// The generator always yields a connected grid with ≥1 board and
+    /// ≥2 stations, whatever the (validated) shape parameters.
+    #[test]
+    fn generated_grids_are_connected_with_boards_and_stations(
+        floors in 1u32..=3,
+        boards_per_floor in 1u32..=3,
+        offices_per_board in 2u32..=6,
+        station_frac in 1u32..=6,
+        drop_min in 1.0f64..8.0,
+        drop_span in 0.5f64..6.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let stations_per_board = station_frac.min(offices_per_board);
+        // The parser enforces ≥2 total stations; mirror that precondition.
+        prop_assume!(floors as u64 * boards_per_floor as u64 * stations_per_board as u64 >= 2);
+        let s = spec(floors, boards_per_floor, offices_per_board, stations_per_board,
+                     drop_min, drop_span);
+        let t = generate(&s, seed);
+
+        // ≥1 board, ≥2 stations.
+        let boards = (0..t.grid.node_count())
+            .filter(|&i| t.grid.node(NodeId(i)).kind == NodeKind::Board)
+            .count();
+        prop_assert!(boards >= 1);
+        prop_assert_eq!(boards as u64, s.total_boards());
+        prop_assert!(t.stations.len() >= 2);
+        prop_assert_eq!(t.stations.len() as u64, s.total_stations());
+
+        // Station ids are the contiguous range 0..n (what PaperEnv
+        // requires).
+        for (i, st) in t.stations.iter().enumerate() {
+            prop_assert_eq!(st.id as usize, i);
+        }
+
+        // Connectivity: every node reaches the first board (the grid is
+        // one component).
+        for i in 0..t.grid.node_count() {
+            prop_assert!(
+                t.grid.cable_distance(NodeId(0), NodeId(i)).is_some(),
+                "node {} disconnected", i
+            );
+        }
+
+        // Positions fit the generated floor.
+        for st in &t.stations {
+            prop_assert!(st.pos.x >= 0.0 && st.pos.x <= t.floor.width_m);
+            prop_assert!(st.pos.y >= 0.0 && st.pos.y <= t.floor.depth_m);
+        }
+    }
+
+    /// Same spec + same seed → byte-identical grid serialization.
+    #[test]
+    fn generation_is_deterministic_per_seed(
+        floors in 1u32..=2,
+        offices in 2u32..=5,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = spec(floors, 1, offices, offices.min(2), 3.0, 4.0);
+        let a = generate(&s, seed);
+        let b = generate(&s, seed);
+        prop_assert_eq!(
+            serde_json::to_string(&a.grid).unwrap(),
+            serde_json::to_string(&b.grid).unwrap()
+        );
+    }
+}

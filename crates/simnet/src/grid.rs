@@ -106,6 +106,69 @@ pub struct Discontinuity {
     pub appliances: Vec<(ApplianceId, f64)>,
 }
 
+/// A structural error raised while building a [`Grid`].
+///
+/// The fallible construction API ([`Grid::try_connect`],
+/// [`Grid::try_attach`], [`Grid::try_node`]) returns these instead of
+/// panicking, so callers assembling grids from untrusted input (e.g. the
+/// `scenario` crate's loader) can surface actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GridError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode {
+        /// The offending id.
+        id: NodeId,
+        /// Number of nodes the grid actually has.
+        node_count: usize,
+    },
+    /// A cable was declared from a node to itself.
+    SelfLoop {
+        /// The node at both ends.
+        node: NodeId,
+    },
+    /// A cable segment with a non-positive length.
+    NonPositiveLength {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// The rejected length.
+        length_m: f64,
+    },
+    /// An appliance was attached to a node that is not an outlet.
+    NotAnOutlet {
+        /// The offending node.
+        node: NodeId,
+        /// What the node actually is.
+        kind: NodeKind,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::UnknownNode { id, node_count } => {
+                write!(f, "unknown node id {} (grid has {node_count} nodes)", id.0)
+            }
+            GridError::SelfLoop { node } => {
+                write!(f, "self-loop cable at node {}", node.0)
+            }
+            GridError::NonPositiveLength { a, b, length_m } => write!(
+                f,
+                "cable length must be positive: {length_m} m between nodes {} and {}",
+                a.0, b.0
+            ),
+            GridError::NotAnOutlet { node, kind } => write!(
+                f,
+                "appliances attach to outlets, but node {} is a {kind:?}",
+                node.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// The electrical network graph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Grid {
@@ -147,41 +210,75 @@ impl Grid {
         self.add_node(NodeKind::Outlet, name)
     }
 
+    /// Connect two nodes with a cable segment of the given length,
+    /// reporting structural problems instead of panicking.
+    pub fn try_connect(&mut self, a: NodeId, b: NodeId, length_m: f64) -> Result<(), GridError> {
+        let n = self.nodes.len();
+        for id in [a, b] {
+            if id.0 >= n {
+                return Err(GridError::UnknownNode { id, node_count: n });
+            }
+        }
+        if a == b {
+            return Err(GridError::SelfLoop { node: a });
+        }
+        // NaN must land here too, hence the explicit is_nan arm.
+        if length_m.is_nan() || length_m <= 0.0 {
+            return Err(GridError::NonPositiveLength { a, b, length_m });
+        }
+        self.adj[a.0].push((b, length_m));
+        self.adj[b.0].push((a, length_m));
+        Ok(())
+    }
+
     /// Connect two nodes with a cable segment of the given length.
     ///
     /// # Panics
     /// Panics if either node id is out of range, the nodes are equal, or
-    /// the length is not strictly positive.
+    /// the length is not strictly positive. Use [`Grid::try_connect`] to
+    /// get a typed [`GridError`] instead.
     pub fn connect(&mut self, a: NodeId, b: NodeId, length_m: f64) {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
-        assert_ne!(a, b, "self-loop cable");
-        assert!(length_m > 0.0, "cable length must be positive");
-        self.adj[a.0].push((b, length_m));
-        self.adj[b.0].push((a, length_m));
+        self.try_connect(a, b, length_m)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    /// Plug an appliance into an outlet.
-    ///
-    /// # Panics
-    /// Panics if the node is not an outlet.
-    pub fn attach(
+    /// Plug an appliance into an outlet, reporting structural problems
+    /// instead of panicking.
+    pub fn try_attach(
         &mut self,
         outlet: NodeId,
         kind: ApplianceKind,
         schedule: Schedule,
-    ) -> ApplianceId {
-        assert_eq!(
-            self.nodes[outlet.0].kind,
-            NodeKind::Outlet,
-            "appliances attach to outlets"
-        );
+    ) -> Result<ApplianceId, GridError> {
+        let node = self.try_node(outlet)?;
+        if node.kind != NodeKind::Outlet {
+            return Err(GridError::NotAnOutlet {
+                node: outlet,
+                kind: node.kind,
+            });
+        }
         let id = ApplianceId(self.appliances.len());
         self.appliances.push(AttachedAppliance {
             outlet,
             kind,
             schedule,
         });
-        id
+        Ok(id)
+    }
+
+    /// Plug an appliance into an outlet.
+    ///
+    /// # Panics
+    /// Panics if the node does not exist or is not an outlet. Use
+    /// [`Grid::try_attach`] to get a typed [`GridError`] instead.
+    pub fn attach(
+        &mut self,
+        outlet: NodeId,
+        kind: ApplianceKind,
+        schedule: Schedule,
+    ) -> ApplianceId {
+        self.try_attach(outlet, kind, schedule)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of nodes.
@@ -189,9 +286,21 @@ impl Grid {
         self.nodes.len()
     }
 
+    /// Look up a node, reporting an out-of-range id as a [`GridError`].
+    pub fn try_node(&self, id: NodeId) -> Result<&Node, GridError> {
+        self.nodes.get(id.0).ok_or(GridError::UnknownNode {
+            id,
+            node_count: self.nodes.len(),
+        })
+    }
+
     /// Look up a node.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range. Use [`Grid::try_node`] to get a
+    /// typed [`GridError`] instead.
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.0]
+        self.try_node(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// All attached appliances.
@@ -488,6 +597,87 @@ mod tests {
         let a = g.add_outlet("a");
         let b = g.add_outlet("b");
         g.connect(a, b, 0.0);
+    }
+
+    #[test]
+    fn try_connect_reports_typed_errors() {
+        let mut g = Grid::new();
+        let a = g.add_outlet("a");
+        let b = g.add_outlet("b");
+        assert_eq!(
+            g.try_connect(a, NodeId(99), 5.0),
+            Err(GridError::UnknownNode {
+                id: NodeId(99),
+                node_count: 2
+            })
+        );
+        assert_eq!(
+            g.try_connect(a, a, 5.0),
+            Err(GridError::SelfLoop { node: a })
+        );
+        assert_eq!(
+            g.try_connect(a, b, -1.0),
+            Err(GridError::NonPositiveLength {
+                a,
+                b,
+                length_m: -1.0
+            })
+        );
+        // NaN lengths are rejected too (NaN != NaN, so match on shape).
+        assert!(matches!(
+            g.try_connect(a, b, f64::NAN),
+            Err(GridError::NonPositiveLength { .. })
+        ));
+        assert!(g.try_connect(a, b, 5.0).is_ok());
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn try_attach_reports_typed_errors() {
+        let mut g = Grid::new();
+        let board = g.add_board("B");
+        let o = g.add_outlet("o");
+        assert_eq!(
+            g.try_attach(board, ApplianceKind::Fridge, Schedule::AlwaysOn),
+            Err(GridError::NotAnOutlet {
+                node: board,
+                kind: NodeKind::Board
+            })
+        );
+        assert_eq!(
+            g.try_attach(NodeId(7), ApplianceKind::Fridge, Schedule::AlwaysOn),
+            Err(GridError::UnknownNode {
+                id: NodeId(7),
+                node_count: 2
+            })
+        );
+        assert!(g
+            .try_attach(o, ApplianceKind::Fridge, Schedule::AlwaysOn)
+            .is_ok());
+    }
+
+    #[test]
+    fn try_node_reports_unknown_ids() {
+        let mut g = Grid::new();
+        let a = g.add_outlet("a");
+        assert!(g.try_node(a).is_ok());
+        let err = g.try_node(NodeId(3)).unwrap_err();
+        assert!(err.to_string().contains("unknown node id 3"));
+    }
+
+    #[test]
+    fn grid_error_messages_are_actionable() {
+        let e = GridError::NonPositiveLength {
+            a: NodeId(1),
+            b: NodeId(2),
+            length_m: 0.0,
+        };
+        assert!(e.to_string().contains("cable length must be positive"));
+        let e = GridError::NotAnOutlet {
+            node: NodeId(4),
+            kind: NodeKind::Junction,
+        };
+        assert!(e.to_string().contains("appliances attach to outlets"));
     }
 
     #[test]

@@ -39,21 +39,31 @@ use simnet::schedule::Schedule;
 pub type StationId = u16;
 
 /// Logical PLC network membership.
+///
+/// The paper's floor has exactly two networks (`A` and `B`, one per
+/// distribution board). Scenario-generated grids can have any number of
+/// boards, each forming its own logical network `Net(i)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PlcNetwork {
     /// Board B1, stations 0–11, CCo = 11.
     A,
     /// Board B2, stations 12–18, CCo = 15.
     B,
+    /// The `i`-th logical network of a generated or explicitly declared
+    /// grid (one per distribution board).
+    Net(u16),
 }
 
 impl PlcNetwork {
-    /// The statically configured central coordinator of this network
-    /// (the paper pins CCos with the Open Powerline Toolkit, §3.1).
-    pub fn cco(self) -> StationId {
+    /// The statically pinned central coordinator of this network, when
+    /// one exists (the paper pins CCos with the Open Powerline Toolkit,
+    /// §3.1). Generated networks have no static pin — use
+    /// [`Testbed::cco`] to resolve one from the membership.
+    pub fn pinned_cco(self) -> Option<StationId> {
         match self {
-            PlcNetwork::A => 11,
-            PlcNetwork::B => 15,
+            PlcNetwork::A => Some(11),
+            PlcNetwork::B => Some(15),
+            PlcNetwork::Net(_) => None,
         }
     }
 }
@@ -169,6 +179,7 @@ impl Testbed {
             let corridor = match network {
                 PlcNetwork::A => &corridor_a,
                 PlcNetwork::B => &corridor_b,
+                PlcNetwork::Net(_) => unreachable!("paper floor only has networks A and B"),
             };
             let tap = corridor_node(corridor, corridor_m);
             // The office drop: junction behind the wall, then outlets.
@@ -302,6 +313,20 @@ impl Testbed {
             .iter()
             .find(|s| s.id == id)
             .unwrap_or_else(|| panic!("unknown station {id}"))
+    }
+
+    /// The central coordinator of a logical network: its statically
+    /// pinned CCo when defined and present, otherwise the lowest station
+    /// id of the network's members (the 1901 tie-break, see
+    /// `plc_mac::cco::elect_cco`). `None` for an empty network.
+    pub fn cco(&self, network: PlcNetwork) -> Option<StationId> {
+        let members = self.network_members(network);
+        if let Some(pinned) = network.pinned_cco() {
+            if members.contains(&pinned) {
+                return Some(pinned);
+            }
+        }
+        members.first().copied()
     }
 
     /// Stations of one logical PLC network, in id order.
@@ -444,8 +469,12 @@ mod tests {
         assert_eq!(t.stations.len(), 19);
         assert_eq!(t.network_members(PlcNetwork::A).len(), 12);
         assert_eq!(t.network_members(PlcNetwork::B).len(), 7);
-        assert_eq!(PlcNetwork::A.cco(), 11);
-        assert_eq!(PlcNetwork::B.cco(), 15);
+        assert_eq!(t.cco(PlcNetwork::A), Some(11));
+        assert_eq!(t.cco(PlcNetwork::B), Some(15));
+        assert_eq!(PlcNetwork::A.pinned_cco(), Some(11));
+        assert_eq!(PlcNetwork::Net(0).pinned_cco(), None);
+        // Generated networks have no members on the paper floor.
+        assert_eq!(t.cco(PlcNetwork::Net(0)), None);
     }
 
     #[test]

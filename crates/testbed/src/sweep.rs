@@ -16,19 +16,54 @@
 //!   reproducible too. Structured *events* raised inside workers are
 //!   dropped — sweeps record metrics, not event streams.
 //!
-//! Thread count comes from `ELECTRIFI_THREADS` (0 or 1 forces the
-//! sequential path) or `std::thread::available_parallelism()`.
+//! Thread count comes from `ELECTRIFI_THREADS` (a positive integer; `1`
+//! forces the sequential path) or `std::thread::available_parallelism()`.
+//! A set-but-invalid value (`0`, garbage) is rejected with a clear
+//! message rather than silently falling back — a sweep silently running
+//! sequential because of a typo is exactly the misconfiguration the
+//! variable exists to prevent.
 
 use simnet::obs::{self, MetricsSnapshot, Obs};
 
 /// Environment variable overriding the sweep worker count.
 pub const THREADS_ENV: &str = "ELECTRIFI_THREADS";
 
+/// Parse an `ELECTRIFI_THREADS` value: a positive integer worker count.
+/// `0`, empty strings and garbage are rejected with an actionable
+/// message.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV} must be a positive worker count, got \"0\" \
+             (unset the variable to use all cores, or set 1 to force sequential sweeps)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{THREADS_ENV} must be a positive integer worker count, got {trimmed:?}"
+        )),
+    }
+}
+
+/// The worker count configured via `ELECTRIFI_THREADS`: `Ok(None)` when
+/// the variable is unset, `Ok(Some(n))` for a valid value, `Err` with a
+/// clear message for an invalid one.
+pub fn threads_from_env() -> Result<Option<usize>, String> {
+    match std::env::var(THREADS_ENV) {
+        Err(_) => Ok(None),
+        Ok(v) => parse_threads(&v).map(Some),
+    }
+}
+
 /// Number of workers a sweep over `n_items` items would use.
+///
+/// # Panics
+/// Panics with the [`parse_threads`] message when `ELECTRIFI_THREADS` is
+/// set to an invalid value: a misconfigured worker count should stop the
+/// run at the first sweep, not silently change its parallelism.
 pub fn thread_count(n_items: usize) -> usize {
-    let hw = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
+    let hw = threads_from_env()
+        .unwrap_or_else(|e| panic!("{e}"))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -139,5 +174,24 @@ mod tests {
         assert_eq!(thread_count(0), 1);
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("64"), Ok(64));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage_with_clear_messages() {
+        let zero = parse_threads("0").unwrap_err();
+        assert!(zero.contains("ELECTRIFI_THREADS"), "{zero}");
+        assert!(zero.contains("positive"), "{zero}");
+        for bad in ["", "  ", "four", "-2", "3.5", "8x"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(err.contains("ELECTRIFI_THREADS"), "{bad:?}: {err}");
+            assert!(err.contains("positive integer"), "{bad:?}: {err}");
+        }
     }
 }

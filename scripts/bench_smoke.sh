@@ -11,6 +11,10 @@ echo "== bench_channel (writes out/BENCH_channel.json) =="
 cargo build --release -q -p electrifi-bench --bin bench_channel
 ./target/release/bench_channel
 
+echo "== campaign smoke (writes out/smoke-campaign/) =="
+cargo build --release -q -p electrifi-bench --bin campaign
+./target/release/campaign scenarios/smoke-campaign.json --workers 2 --out out/smoke-campaign
+
 if [[ "${1:-}" == "--criterion" ]]; then
     echo "== criterion component benches =="
     cargo bench -p electrifi-bench --bench components

@@ -14,4 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== campaign smoke (2 runs, validated + executed) =="
+cargo build --release -q -p electrifi-bench --bin campaign
+./target/release/campaign scenarios/smoke-campaign.json --dry-run
+./target/release/campaign scenarios/smoke-campaign.json --workers 2 --out out/smoke-campaign
+
 echo "All checks passed."

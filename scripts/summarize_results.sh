@@ -41,6 +41,40 @@ else
   echo "== manifests ==  (none found under out/)"
 fi
 
+# --- campaign summaries ------------------------------------------------
+# The campaign runner writes out/<campaign>/summary.json plus one
+# <run>.manifest.json per run (see `campaign --help`). One line per run
+# plus the campaign-level totals.
+if compgen -G "out/*/summary.json" > /dev/null; then
+  echo "== campaigns =="
+  python3 - <<'PY'
+import glob, json
+
+for path in sorted(glob.glob("out/*/summary.json")):
+    try:
+        with open(path) as f:
+            s = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: unreadable ({e})")
+        continue
+    print(f"{s.get('campaign', '?')}: {len(s.get('runs', []))} run(s)"
+          f"  digest={s.get('config_digest', '?')}")
+    for run in s.get("runs", []):
+        heads = "  ".join(
+            f"{e['kind']}.{k}={v:.3g}"
+            for e in run.get("experiments", [])
+            for k, v in e.get("headline", [])[:2]
+        )
+        print(f"  {run.get('run', '?'):32} stations={run.get('stations', '?'):>3}"
+              f"  plc_links={run.get('plc_links', '?'):>4}  {heads}")
+    totals = ", ".join(f"{k}={v:.3g}" for k, v in s.get("totals", [])[:6])
+    if totals:
+        print(f"  totals: {totals}")
+PY
+else
+  echo "== campaigns ==  (none found under out/*/)"
+fi
+
 # --- headline numbers from text dumps ----------------------------------
 # Only figures whose text dump exists get a section: the binaries are
 # run piecemeal, and a missing file is not an error.
