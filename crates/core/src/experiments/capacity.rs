@@ -120,26 +120,34 @@ pub struct Fig16Result {
 pub fn fig16(env: &PaperEnv, scale: Scale) -> Fig16Result {
     let duration = scale.dur(Duration::from_secs(4_000), 100);
     let rates = [1u32, 10, 50, 200];
-    let mut links = Vec::new();
-    for (a, b) in [(1u16, 11u16), (1u16, 5u16)] {
-        let mut traces = Vec::new();
-        for &rate in &rates {
-            let seed = 0xF16 ^ ((a as u64) << 16) ^ ((b as u64) << 2) ^ rate as u64;
-            let mut sim = LinkProbeSim::new(
-                env.plc_channel(a, b),
-                PaperEnv::dir(a, b),
-                env.estimator,
-                seed,
-            );
-            sim.reset(); // explicit: the paper resets devices each run
-            let trace = probe_at_rate(&mut sim, Time::from_hours(1), duration, rate, 1300);
-            traces.push(ConvergenceTrace {
-                pkts_per_sec: rate,
-                estimate: trace,
-            });
+    let link_ids = [(1u16, 11u16), (1u16, 5u16)];
+    // Every (link, rate) cell is an independently-seeded simulation, so
+    // the whole grid fans out through the deterministic sweep machinery
+    // and is regrouped per link in the original order afterwards.
+    let cells: Vec<(StationId, StationId, u32)> = link_ids
+        .iter()
+        .flat_map(|&(a, b)| rates.iter().map(move |&rate| (a, b, rate)))
+        .collect();
+    let traces = electrifi_testbed::sweep::par_map(&cells, |_, &(a, b, rate)| {
+        let seed = 0xF16 ^ ((a as u64) << 16) ^ ((b as u64) << 2) ^ rate as u64;
+        let mut sim = LinkProbeSim::new(
+            env.plc_channel(a, b),
+            PaperEnv::dir(a, b),
+            env.estimator,
+            seed,
+        );
+        sim.reset(); // explicit: the paper resets devices each run
+        let trace = probe_at_rate(&mut sim, Time::from_hours(1), duration, rate, 1300);
+        ConvergenceTrace {
+            pkts_per_sec: rate,
+            estimate: trace,
         }
-        links.push(((a, b), traces));
-    }
+    });
+    let links = link_ids
+        .iter()
+        .zip(traces.chunks(rates.len()))
+        .map(|(&link, chunk)| (link, chunk.to_vec()))
+        .collect();
     Fig16Result { links }
 }
 

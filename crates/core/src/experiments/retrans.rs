@@ -38,51 +38,67 @@ pub struct Fig21Result {
 /// 10 Hz; the others count losses. Repeated day and night.
 pub fn fig21(env: &PaperEnv, scale: Scale) -> Fig21Result {
     let duration = scale.dur(Duration::from_secs(500), 50);
-    let mut rows = Vec::new();
-    for (day, start_hour) in [(true, 11u64), (false, 2u64)] {
-        let outlets = env.testbed.plc_outlets(PlcNetwork::A);
-        let members: Vec<StationId> = outlets.iter().map(|(id, _)| *id).collect();
-        let keep = scale.take(members.len(), 4);
-        for &src in members.iter().take(keep) {
-            let cfg = SimConfig {
-                seed: env.testbed.seed ^ 0xF21 ^ ((src as u64) << 8) ^ day as u64,
-                ..SimConfig::default()
-            };
-            let mut sim = PlcSim::new(cfg, &env.testbed.grid, &outlets);
-            let f = sim.add_flow(Flow::broadcast(
-                src,
-                TrafficSource::new(
-                    TrafficPattern::Cbr {
-                        rate_bps: 120_000.0, // 1500 B every 100 ms
-                        pkt_bytes: 1500,
-                    },
-                    Time::from_hours(start_hour),
-                ),
-            ));
-            // Warp to the time of day and run.
-            sim.run_until(Time::from_hours(start_hour) + duration);
-            // Reference unicast quality per receiver (analytic, from the
-            // channel at night): throughput and pberr scale stand-ins.
-            for (&dst, &(ok, lost)) in sim.broadcast_stats(f).iter() {
-                let total = ok + lost;
-                if total == 0 {
-                    continue;
-                }
-                // A floor at 1/total keeps zero-loss links plottable on
-                // the paper's log axis.
-                let loss_rate = (lost as f64 / total as f64).max(0.5 / total as f64);
-                let (throughput, pberr) = night_reference(env, src, dst);
-                rows.push(BroadcastRow {
-                    src,
-                    dst,
-                    loss_rate,
-                    throughput,
-                    pberr,
-                    day,
-                });
+    let outlets = env.testbed.plc_outlets(PlcNetwork::A);
+    let members: Vec<StationId> = outlets.iter().map(|(id, _)| *id).collect();
+    let keep = scale.take(members.len(), 4);
+    // Each (time-of-day, broadcaster) run is an independently-seeded sim,
+    // so the grid fans out through the deterministic sweep machinery.
+    // Receiver rows are sorted by destination, which also pins the row
+    // order that previously followed HashMap iteration.
+    let runs: Vec<(bool, u64, StationId)> = [(true, 11u64), (false, 2u64)]
+        .into_iter()
+        .flat_map(|(day, start_hour)| {
+            members
+                .iter()
+                .take(keep)
+                .map(move |&src| (day, start_hour, src))
+        })
+        .collect();
+    let rows = electrifi_testbed::sweep::par_map(&runs, |_, &(day, start_hour, src)| {
+        let cfg = SimConfig {
+            seed: env.testbed.seed ^ 0xF21 ^ ((src as u64) << 8) ^ day as u64,
+            ..SimConfig::default()
+        };
+        let mut sim = PlcSim::new(cfg, &env.testbed.grid, &outlets);
+        let f = sim.add_flow(Flow::broadcast(
+            src,
+            TrafficSource::new(
+                TrafficPattern::Cbr {
+                    rate_bps: 120_000.0, // 1500 B every 100 ms
+                    pkt_bytes: 1500,
+                },
+                Time::from_hours(start_hour),
+            ),
+        ));
+        // Warp to the time of day and run.
+        sim.run_until(Time::from_hours(start_hour) + duration);
+        // Reference unicast quality per receiver (analytic, from the
+        // channel at night): throughput and pberr scale stand-ins.
+        let mut run_rows = Vec::new();
+        for (&dst, &(ok, lost)) in sim.broadcast_stats(f).iter() {
+            let total = ok + lost;
+            if total == 0 {
+                continue;
             }
+            // A floor at 1/total keeps zero-loss links plottable on
+            // the paper's log axis.
+            let loss_rate = (lost as f64 / total as f64).max(0.5 / total as f64);
+            let (throughput, pberr) = night_reference(env, src, dst);
+            run_rows.push(BroadcastRow {
+                src,
+                dst,
+                loss_rate,
+                throughput,
+                pberr,
+                day,
+            });
         }
-    }
+        run_rows.sort_by_key(|r| r.dst);
+        run_rows
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Fig21Result { rows }
 }
 
@@ -133,36 +149,40 @@ pub fn fig22(env: &PaperEnv, scale: Scale) -> Fig22Result {
     let duration = scale.dur(Duration::from_secs(300), 30);
     let mut pairs = env.plc_pairs();
     pairs.truncate(scale.take(pairs.len(), 8));
-    let mut rows = Vec::new();
-    for (a, b) in pairs {
-        let outlets = [
-            (a, env.testbed.station(a).outlet),
-            (b, env.testbed.station(b).outlet),
-        ];
-        let cfg = SimConfig {
-            seed: env.testbed.seed ^ 0xF22 ^ ((a as u64) << 12) ^ b as u64,
-            ..SimConfig::default()
-        };
-        let mut sim = PlcSim::new(cfg, &env.testbed.grid, &outlets);
-        let f = sim.add_flow(Flow::unicast(a, b, TrafficSource::probe_150kbps()));
-        sim.run_until(Time::ZERO + duration);
-        let counts = sim.take_tx_counts(f);
-        let Some(uetx) = UEtx::from_tx_counts(&counts) else {
-            continue;
-        };
-        let ble = sim.int6krate(a, b);
-        let (total, err) = sim.pb_counters(a, b);
-        if total == 0 || ble < 5.0 {
-            continue;
-        }
-        rows.push(UEtxRow {
-            a,
-            b,
-            ble,
-            pberr: err as f64 / total as f64,
-            uetx,
-        });
-    }
+    // Per-link seeded runs fan out through the deterministic sweep
+    // machinery; links with too little data drop out as `None` just like
+    // the old `continue`s.
+    let mut rows: Vec<UEtxRow> =
+        electrifi_testbed::sweep::par_map(&pairs, |_, &(a, b)| -> Option<UEtxRow> {
+            let outlets = [
+                (a, env.testbed.station(a).outlet),
+                (b, env.testbed.station(b).outlet),
+            ];
+            let cfg = SimConfig {
+                seed: env.testbed.seed ^ 0xF22 ^ ((a as u64) << 12) ^ b as u64,
+                ..SimConfig::default()
+            };
+            let mut sim = PlcSim::new(cfg, &env.testbed.grid, &outlets);
+            let f = sim.add_flow(Flow::unicast(a, b, TrafficSource::probe_150kbps()));
+            sim.run_until(Time::ZERO + duration);
+            let counts = sim.take_tx_counts(f);
+            let uetx = UEtx::from_tx_counts(&counts)?;
+            let ble = sim.int6krate(a, b);
+            let (total, err) = sim.pb_counters(a, b);
+            if total == 0 || ble < 5.0 {
+                return None;
+            }
+            Some(UEtxRow {
+                a,
+                b,
+                ble,
+                pberr: err as f64 / total as f64,
+                uetx,
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     rows.sort_by(|x, y| x.ble.partial_cmp(&y.ble).expect("finite"));
     let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.pberr, r.uetx.mean)).collect();
     Fig22Result {
@@ -290,10 +310,38 @@ pub struct Fig23Result {
 /// Run Fig. 23 with the paper's link pairs: probe 0→11 vs background 1→6
 /// (insensitive) and probe 6→11 vs background 1→0 (sensitive).
 pub fn fig23(env: &PaperEnv, scale: Scale) -> Fig23Result {
+    let (insensitive, sensitive) = sensitivity_pair(
+        env,
+        ((0, 11), (1, 6)),
+        ((6, 11), (1, 0)),
+        [false, false],
+        scale,
+    );
     Fig23Result {
-        insensitive: sensitivity_run(env, (0, 11), (1, 6), false, scale),
-        sensitive: sensitivity_run(env, (6, 11), (1, 0), false, scale),
+        insensitive,
+        sensitive,
     }
+}
+
+/// Run two independent [`sensitivity_run`]s through the deterministic
+/// sweep machinery (each owns a per-seed sim, so results are identical
+/// to sequential calls).
+fn sensitivity_pair(
+    env: &PaperEnv,
+    first: ((StationId, StationId), (StationId, StationId)),
+    second: ((StationId, StationId), (StationId, StationId)),
+    bursts: [bool; 2],
+    scale: Scale,
+) -> (SensitivityTrace, SensitivityTrace) {
+    let specs = [(first, bursts[0]), (second, bursts[1])];
+    let mut traces = electrifi_testbed::sweep::par_map(&specs, |_, &((probe, background), b)| {
+        sensitivity_run(env, probe, background, b, scale)
+    })
+    .into_iter();
+    (
+        traces.next().expect("two traces"),
+        traces.next().expect("two traces"),
+    )
 }
 
 /// Fig. 24 output: the burst fix applied to a sensitive pair.
@@ -307,10 +355,14 @@ pub struct Fig24Result {
 
 /// Run Fig. 24 on the paper's 7→6 probe / 8→3 background pair.
 pub fn fig24(env: &PaperEnv, scale: Scale) -> Fig24Result {
-    Fig24Result {
-        single: sensitivity_run(env, (7, 6), (8, 3), false, scale),
-        bursts: sensitivity_run(env, (7, 6), (8, 3), true, scale),
-    }
+    let (single, bursts) = sensitivity_pair(
+        env,
+        ((7, 6), (8, 3)),
+        ((7, 6), (8, 3)),
+        [false, true],
+        scale,
+    );
+    Fig24Result { single, bursts }
 }
 
 #[cfg(test)]

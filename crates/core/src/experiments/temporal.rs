@@ -208,35 +208,29 @@ pub struct Fig10Result {
 }
 
 /// Run Fig. 10 on the paper's example links.
+///
+/// Each panel is an independent per-link-seeded probe simulation, so the
+/// seven traces run through the deterministic sweep machinery
+/// ([`electrifi_testbed::sweep::par_map`]) — results are byte-identical
+/// to the sequential loop they replaced.
 pub fn fig10(env: &PaperEnv, scale: Scale) -> Fig10Result {
     let duration = scale.dur(Duration::from_secs(240), 24);
-    let mut traces = Vec::new();
     // Paper panels: 11-4 and 6-5 (bad), 18-15 and 1-2 (average),
-    // 15-18 and 3-1 (good).
-    for (a, b) in [(11u16, 4u16), (6, 5), (18, 15), (1, 2), (15, 18), (3, 1)] {
-        traces.push(cycle_trace(
-            env,
-            a,
-            b,
-            PlcTechnology::HpAv,
-            env.estimator,
-            duration,
-        ));
-    }
-    // HPAV500 with the vendor quirk on link 18-15 (the paper's deep
-    // oscillation example).
+    // 15-18 and 3-1 (good) — plus HPAV500 with the vendor quirk on link
+    // 18-15 (the paper's deep oscillation example).
     let quirk_cfg = EstimatorConfig {
         av500_quirk: true,
         ..env.estimator
     };
-    traces.push(cycle_trace(
-        env,
-        18,
-        15,
-        PlcTechnology::HpAv500,
-        quirk_cfg,
-        duration,
-    ));
+    let panels: Vec<(StationId, StationId, PlcTechnology, EstimatorConfig)> =
+        [(11u16, 4u16), (6, 5), (18, 15), (1, 2), (15, 18), (3, 1)]
+            .into_iter()
+            .map(|(a, b)| (a, b, PlcTechnology::HpAv, env.estimator))
+            .chain(std::iter::once((18, 15, PlcTechnology::HpAv500, quirk_cfg)))
+            .collect();
+    let traces = electrifi_testbed::sweep::par_map(&panels, |_, &(a, b, tech, cfg)| {
+        cycle_trace(env, a, b, tech, cfg, duration)
+    });
     Fig10Result { traces }
 }
 
@@ -274,21 +268,27 @@ pub fn fig11(env: &PaperEnv, scale: Scale) -> Fig11Result {
     let duration = scale.dur(Duration::from_secs(240), 24);
     let mut pairs = env.plc_pairs();
     pairs.truncate(scale.take(pairs.len(), 10));
-    let mut rows = Vec::new();
-    for (a, b) in pairs {
-        let trace = cycle_trace(env, a, b, PlcTechnology::HpAv, env.estimator, duration);
-        let stats = trace.ble.stats();
-        if stats.mean() < 5.0 {
-            continue; // effectively dead link
-        }
-        rows.push(Fig11Row {
-            a,
-            b,
-            avg_ble: stats.mean(),
-            alpha_ms: trace.mean_alpha_ms(),
-            ble_std: stats.std(),
-        });
-    }
+    // Each link's probe sim is independently seeded, so the per-link rows
+    // go through the deterministic sweep machinery; dead links (mean BLE
+    // below 5 Mbps) drop out as `None` just like the old `continue`.
+    let mut rows: Vec<Fig11Row> =
+        electrifi_testbed::sweep::par_map(&pairs, |_, &(a, b)| -> Option<Fig11Row> {
+            let trace = cycle_trace(env, a, b, PlcTechnology::HpAv, env.estimator, duration);
+            let stats = trace.ble.stats();
+            if stats.mean() < 5.0 {
+                return None; // effectively dead link
+            }
+            Some(Fig11Row {
+                a,
+                b,
+                avg_ble: stats.mean(),
+                alpha_ms: trace.mean_alpha_ms(),
+                ble_std: stats.std(),
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     rows.sort_by(|x, y| x.avg_ble.partial_cmp(&y.avg_ble).expect("finite"));
     let alpha_pts: Vec<(f64, f64)> = rows
         .iter()
@@ -356,6 +356,23 @@ pub fn long_trace(
     }
 }
 
+/// Run [`long_trace`] over several independent links in parallel.
+///
+/// Each trace owns its own per-link-seeded [`LinkProbeSim`], so the
+/// results are byte-identical to calling [`long_trace`] sequentially;
+/// traces come back in the order of `links`.
+pub fn long_traces(
+    env: &PaperEnv,
+    links: &[(StationId, StationId)],
+    duration: Duration,
+    sample: Duration,
+    window: Duration,
+) -> Vec<LongTrace> {
+    electrifi_testbed::sweep::par_map(links, |_, &(a, b)| {
+        long_trace(env, a, b, duration, sample, window)
+    })
+}
+
 /// Fig. 12 output: two-day traces for the two example links, plus the
 /// 9 pm lights-off check.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -371,9 +388,10 @@ pub fn fig12(env: &PaperEnv, scale: Scale) -> Fig12Result {
     let duration = scale.dur(Duration::from_secs(2 * 24 * 3600), 200);
     let sample = scale.dur(Duration::from_secs(20), 10);
     let window = scale.dur(Duration::from_secs(60), 10);
+    let mut traces = long_traces(env, &[(15, 16), (0, 1)], duration, sample, window).into_iter();
     Fig12Result {
-        link_15_16: long_trace(env, 15, 16, duration, sample, window),
-        link_0_1: long_trace(env, 0, 1, duration, sample, window),
+        link_15_16: traces.next().expect("two traces"),
+        link_0_1: traces.next().expect("two traces"),
     }
 }
 
@@ -390,23 +408,42 @@ pub struct WeeklyResult {
 
 /// Run a Fig. 13/14-style two-week experiment on one link.
 pub fn weekly(env: &PaperEnv, a: StationId, b: StationId, scale: Scale) -> WeeklyResult {
+    weekly_links(env, &[(a, b)], scale)
+        .pop()
+        .expect("one link in, one result out")
+}
+
+/// Run Fig. 13/14-style two-week experiments on several links at once.
+///
+/// The two-week traces dominate the temporal experiments' wall-clock
+/// time; each link is an independent per-seed simulation, so they run
+/// through the deterministic sweep machinery. Results come back in the
+/// order of `links` and are byte-identical to sequential [`weekly`]
+/// calls.
+pub fn weekly_links(
+    env: &PaperEnv,
+    links: &[(StationId, StationId)],
+    scale: Scale,
+) -> Vec<WeeklyResult> {
     let duration = scale.dur(Duration::from_secs(14 * 24 * 3600), 1000);
     let sample = scale.dur(Duration::from_secs(300), 250);
     let window = sample;
-    let trace = long_trace(env, a, b, duration, sample, window);
-    let fold = |weekend: bool| -> Vec<(u32, f64, f64)> {
-        trace
-            .ble
-            .by_hour_of_day(Some(weekend))
-            .into_iter()
-            .map(|(h, s)| (h, s.mean(), s.std()))
-            .collect()
-    };
-    WeeklyResult {
-        weekday_by_hour: fold(false),
-        weekend_by_hour: fold(true),
-        trace,
-    }
+    electrifi_testbed::sweep::par_map(links, |_, &(a, b)| {
+        let trace = long_trace(env, a, b, duration, sample, window);
+        let fold = |weekend: bool| -> Vec<(u32, f64, f64)> {
+            trace
+                .ble
+                .by_hour_of_day(Some(weekend))
+                .into_iter()
+                .map(|(h, s)| (h, s.mean(), s.std()))
+                .collect()
+        };
+        WeeklyResult {
+            weekday_by_hour: fold(false),
+            weekend_by_hour: fold(true),
+            trace,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ pub mod csma;
 pub mod frame;
 pub mod mm;
 pub mod pb;
+pub mod reference;
+mod scratch;
 pub mod sim;
 pub mod throughput;
 pub mod timing;

@@ -185,7 +185,7 @@ struct LocalAppliance {
 }
 
 /// Per-carrier SNR snapshot of one link direction at one instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SnrSpectrum {
     /// SNR per carrier, dB.
     pub snr_db: Vec<f64>,

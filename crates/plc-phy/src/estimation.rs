@@ -362,13 +362,22 @@ impl ChannelEstimator {
         }
         let profile = self.cfg.profile;
         for s in 0..TONEMAP_SLOTS {
-            let mut map = ToneMap::from_snr(
-                &self.snr_est[s],
-                margin,
-                profile.fec,
-                self.cfg.target_pberr,
-                self.next_id,
+            // Rewrite the slot's map in place: `clear` + `extend` reuses
+            // the carrier buffer (always `n_carriers` long), so a
+            // regeneration is heap-free — this runs inside the MAC hot
+            // loop every expiry/error trigger. Field order mirrors the
+            // original `from_snr` → clamp → repetition → cap pipeline so
+            // the resulting maps are bit-identical.
+            let map = &mut self.tonemaps.slots[s];
+            map.carriers.clear();
+            map.carriers.extend(
+                self.snr_est[s]
+                    .iter()
+                    .map(|&snr| Modulation::select(snr, margin)),
             );
+            map.fec = profile.fec;
+            map.design_pberr = self.cfg.target_pberr;
+            map.id = self.next_id;
             // Clamp to the profile's ceiling (GreenPHY never leaves QPSK).
             for m in &mut map.carriers {
                 if *m > profile.max_modulation {
@@ -382,10 +391,9 @@ impl ChannelEstimator {
             // they only add errors — so the algorithm settles at one PB
             // per symbol (paper §7.2).
             if self.max_pbs_seen <= 1 {
-                Self::cap_info_bits(&mut map, PB_BITS);
+                Self::cap_info_bits(map, PB_BITS);
             }
             self.next_id = self.next_id.wrapping_add(1);
-            self.tonemaps.slots[s] = map;
         }
         self.last_regen = Some(now);
     }

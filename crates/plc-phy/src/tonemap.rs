@@ -52,7 +52,34 @@ pub struct ToneMap {
     pub id: u32,
 }
 
+impl Default for ToneMap {
+    /// An empty placeholder map (no carriers): exists so scratch buffers
+    /// can `mem::take` a map and restore it without allocating. Never a
+    /// valid map to transmit with — `info_bits_per_symbol()` is 0.
+    fn default() -> Self {
+        ToneMap {
+            carriers: Vec::new(),
+            fec: FecRate::Half,
+            design_pberr: 0.0,
+            repetition: 1,
+            id: 0,
+        }
+    }
+}
+
 impl ToneMap {
+    /// Overwrite `self` with `other`, reusing the carrier buffer's
+    /// allocation (`Vec::clone_from` keeps capacity). The hot MAC loop
+    /// copies one tone map per frame; this keeps that copy heap-free
+    /// once the buffer has warmed to the carrier count.
+    pub fn copy_from(&mut self, other: &ToneMap) {
+        self.carriers.clone_from(&other.carriers);
+        self.fec = other.fec;
+        self.design_pberr = other.design_pberr;
+        self.repetition = other.repetition;
+        self.id = other.id;
+    }
+
     /// Build a data tone map from per-carrier SNR estimates: each carrier
     /// gets the most aggressive modulation it supports after a safety
     /// `margin_db`.

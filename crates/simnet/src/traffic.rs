@@ -122,6 +122,34 @@ impl TrafficSource {
         }
     }
 
+    /// Packet size this source emits (every pattern uses a fixed size).
+    /// Lets a MAC peek the next packet's footprint for backpressure
+    /// without consuming it.
+    pub fn pkt_bytes(&self) -> u32 {
+        match self.pattern {
+            TrafficPattern::Saturated { pkt_bytes }
+            | TrafficPattern::Cbr { pkt_bytes, .. }
+            | TrafficPattern::Bursts { pkt_bytes, .. }
+            | TrafficPattern::FileTransfer { pkt_bytes, .. } => pkt_bytes,
+        }
+    }
+
+    /// Whether `next_arrival` is independent of the `now` it is asked at
+    /// (until the next [`take`](Self::take)). True for paced sources (CBR,
+    /// bursts: the release clock `next_at` alone decides) and for finished
+    /// file transfers (`None` forever); false for saturated and unfinished
+    /// file-transfer sources, whose arrival is `now` itself. A MAC may
+    /// cache the minimum arrival across static sources and skip re-scanning
+    /// flows on every idle step — the cache only needs invalidating when a
+    /// packet is actually taken.
+    pub fn arrival_is_static(&self) -> bool {
+        match self.pattern {
+            TrafficPattern::Saturated { .. } => false,
+            TrafficPattern::FileTransfer { total_bytes, .. } => self.sent_bytes >= total_bytes,
+            TrafficPattern::Cbr { .. } | TrafficPattern::Bursts { .. } => true,
+        }
+    }
+
     /// Is a packet available right now?
     pub fn ready(&self, now: Time) -> bool {
         self.next_arrival(now).is_some_and(|t| t <= now)
@@ -334,6 +362,38 @@ mod tests {
         assert!(s.finished());
         assert!(s.take(t).is_none());
         assert!(s.next_arrival(t).is_none());
+    }
+
+    #[test]
+    fn arrival_staticness_matches_patterns() {
+        assert!(!TrafficSource::iperf_saturated().arrival_is_static());
+        assert!(TrafficSource::probe_150kbps().arrival_is_static());
+        assert!(TrafficSource::probe_bursts_150kbps().arrival_is_static());
+        // A file transfer becomes static (None forever) once done.
+        let mut ft = TrafficSource::new(
+            TrafficPattern::FileTransfer {
+                total_bytes: 1500,
+                pkt_bytes: 1500,
+            },
+            Time::ZERO,
+        );
+        assert!(!ft.arrival_is_static());
+        ft.take(Time::ZERO).unwrap();
+        assert!(ft.arrival_is_static());
+        // Static sources really do report the same arrival for any `now`
+        // before the release time.
+        let mut cbr = TrafficSource::probe_150kbps();
+        cbr.take(Time::ZERO).unwrap();
+        let a = cbr.next_arrival(Time::from_millis(1));
+        let b = cbr.next_arrival(Time::from_millis(79));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pkt_bytes_peeks_without_consuming() {
+        let s = TrafficSource::iperf_saturated();
+        assert_eq!(s.pkt_bytes(), 1500);
+        assert_eq!(s.packets_sent(), 0);
     }
 
     #[test]

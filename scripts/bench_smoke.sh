@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # Perf smoke: time the PLC spectrum hot path (uncached reference vs the
-# epoch-keyed cache) and record the result as out/BENCH_channel.json —
-# seed, wall clock per path, speedup, cache hit rate. Fast enough to run
-# on every change; pass --criterion to also run the full criterion
-# component benches (slower).
+# epoch-keyed cache, out/BENCH_channel.json) and the MAC hot loop
+# (reference vs zero-allocation stepper, out/BENCH_mac.json) — seed,
+# wall clock per path, speedup, cache/idle-skip hit rates. Fast enough
+# to run on every change; pass --criterion to also run the full
+# criterion component benches (slower).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== bench_channel (writes out/BENCH_channel.json) =="
 cargo build --release -q -p electrifi-bench --bin bench_channel
 ./target/release/bench_channel
+
+echo "== bench_mac smoke (writes out/BENCH_mac.json) =="
+# Short windows — fast enough for every change. Run the binary without
+# ELECTRIFI_BENCH_SMOKE=1 (and then scripts/perf_gate.sh without
+# --smoke) for gate-quality timing ratios.
+cargo build --release -q -p electrifi-bench --bin bench_mac
+ELECTRIFI_BENCH_SMOKE=1 ./target/release/bench_mac
+./scripts/perf_gate.sh --smoke
 
 echo "== campaign smoke (writes out/smoke-campaign/) =="
 cargo build --release -q -p electrifi-bench --bin campaign

@@ -19,4 +19,12 @@ cargo build --release -q -p electrifi-bench --bin campaign
 ./target/release/campaign scenarios/smoke-campaign.json --dry-run
 ./target/release/campaign scenarios/smoke-campaign.json --workers 2 --out out/smoke-campaign
 
+echo "== bench_mac smoke + perf gate (correctness invariants only) =="
+# Tiny windows: exercises the zero-alloc MAC loop and the bit-identity
+# digests on every change. Timing ratios are only gated by the full
+# (un-smoked) scripts/perf_gate.sh run.
+cargo build --release -q -p electrifi-bench --bin bench_mac
+ELECTRIFI_BENCH_SMOKE=1 ./target/release/bench_mac
+./scripts/perf_gate.sh --smoke
+
 echo "All checks passed."

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the MAC hot loop.
+#
+# Compares out/BENCH_mac.json (written by `bench_mac`) against the
+# checked-in baseline scripts/baselines/BENCH_mac.baseline.json and
+# fails on a regression:
+#
+#   - any digest mismatch between the reference and optimized steppers
+#     (the optimizations must stay bit-identical);
+#   - any heap allocation in an optimized quiesced steady-state window
+#     (the zero-allocation property is the whole point);
+#   - mac_loop speedup below the 3x acceptance floor;
+#   - mac_loop / saturated speedup or idle-skip hit rate more than 20%
+#     below the committed baseline.
+#
+# Ratios (speedup, hit rate) are compared, not absolute steps/sec —
+# absolute throughput varies with the host; ratios are self-normalizing
+# because both arms run on the same machine. Absolute numbers are
+# printed as warnings only unless PERF_GATE_ABSOLUTE=1.
+#
+# `--smoke` relaxes the timing gates (a smoke run's windows are a few
+# sim-seconds, far too short for stable ratios) and checks only the
+# correctness invariants: digests match and the optimized quiesced
+# windows are allocation-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+if [[ "${1:-}" == "--smoke" ]]; then
+    MODE=smoke
+fi
+
+REPORT=out/BENCH_mac.json
+BASELINE=scripts/baselines/BENCH_mac.baseline.json
+
+if [[ ! -f "$REPORT" ]]; then
+    echo "perf_gate: $REPORT not found — run ./target/release/bench_mac first" >&2
+    exit 1
+fi
+if [[ ! -f "$BASELINE" ]]; then
+    echo "perf_gate: baseline $BASELINE not found" >&2
+    exit 1
+fi
+
+MODE="$MODE" REPORT="$REPORT" BASELINE="$BASELINE" python3 - <<'PY'
+import json, os, sys
+
+mode = os.environ["MODE"]
+with open(os.environ["REPORT"]) as f:
+    rep = json.load(f)
+with open(os.environ["BASELINE"]) as f:
+    base = json.load(f)
+
+failures = []
+warnings = []
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+
+# --- correctness invariants (gated in both modes) ----------------------
+for section in ("mac_loop", "saturated", "full_profile"):
+    check(rep[section]["digest_match"], f"{section}: digest mismatch — "
+          "optimized stepper diverged from the reference")
+check(rep["idle"]["digest_match"], "idle: digest mismatch — idle-skip "
+      "changed simulation outputs")
+
+# The quiesced arms are the steady-state MAC loop; the acceptance
+# criterion is zero per-step heap allocations there. full_profile keeps
+# the estimator running, whose observation path may legitimately touch
+# the heap, so it is reported but not gated.
+for section in ("mac_loop", "saturated"):
+    allocs = rep[section]["optimized"]["allocs_in_window"]
+    check(allocs == 0, f"{section}: optimized window performed {allocs} "
+          "heap allocation(s); expected zero")
+
+if mode == "smoke":
+    print(f"perf_gate --smoke: digests match, optimized quiesced windows "
+          f"allocation-free ({len(failures)} failure(s))")
+    for msg in failures:
+        print(f"  FAIL {msg}")
+    sys.exit(1 if failures else 0)
+
+# --- timing gates (full mode only) -------------------------------------
+FLOOR = 3.0       # acceptance floor for the headline workload
+TOL = 0.8         # fail on >20% regression vs. the committed baseline
+
+sp = rep["mac_loop"]["speedup"]
+check(sp >= FLOOR, f"mac_loop: speedup {sp:.2f}x below the {FLOOR:.1f}x floor")
+
+for section in ("mac_loop", "saturated"):
+    cur, ref = rep[section]["speedup"], base[section]["speedup"]
+    check(cur >= TOL * ref,
+          f"{section}: speedup {cur:.2f}x regressed >20% vs baseline {ref:.2f}x")
+    print(f"{section:>12}: speedup {cur:.2f}x (baseline {ref:.2f}x)")
+
+cur, ref = rep["idle"]["hit_rate"], base["idle"]["hit_rate"]
+check(cur >= TOL * ref,
+      f"idle: skip hit rate {cur:.2f} regressed >20% vs baseline {ref:.2f}")
+print(f"{'idle':>12}: hit rate {cur:.2f} (baseline {ref:.2f})")
+
+fp = rep["full_profile"]["speedup"]
+print(f"{'full_profile':>12}: speedup {fp:.2f}x (reported, not gated)")
+
+# Absolute throughput is host-dependent: warn by default, gate only on
+# request (e.g. pinned CI hardware).
+cur = rep["mac_loop"]["optimized"]["steps_per_sec"]
+ref = base["mac_loop"]["optimized"]["steps_per_sec"]
+if cur < TOL * ref:
+    msg = (f"mac_loop: absolute {cur:,.0f} steps/s is >20% below "
+           f"baseline {ref:,.0f} steps/s")
+    if os.environ.get("PERF_GATE_ABSOLUTE") == "1":
+        failures.append(msg)
+    else:
+        warnings.append(msg + " (warn-only; set PERF_GATE_ABSOLUTE=1 to gate)")
+
+for msg in warnings:
+    print(f"  WARN {msg}")
+for msg in failures:
+    print(f"  FAIL {msg}")
+if failures:
+    sys.exit(1)
+print("perf_gate: OK")
+PY

@@ -75,6 +75,57 @@ else
   echo "== campaigns ==  (none found under out/*/)"
 fi
 
+# --- perf benchmarks ---------------------------------------------------
+# bench_mac writes out/BENCH_mac.json: reference vs optimized MAC
+# stepper (steps/s, heap allocations per steady-state window, digest
+# agreement) plus the idle-skip hit rate. The plc.mac.idle_skips /
+# scratch_reuses / allocs_saved counters also land in every run
+# manifest's metrics snapshot, so long-running reproductions report the
+# same numbers per run above.
+if [ -f out/BENCH_mac.json ]; then
+  echo "== bench_mac =="
+  python3 - <<'PY'
+import json
+
+with open("out/BENCH_mac.json") as f:
+    b = json.load(f)
+smoke = "  (SMOKE run: timings not meaningful)" if b.get("smoke") else ""
+print(f"seed={b.get('seed', '?')}  reps={b.get('reps', '?')}{smoke}")
+for name in ("mac_loop", "saturated", "full_profile"):
+    s = b.get(name)
+    if not s:
+        continue
+    opt, ref = s["optimized"], s["reference"]
+    print(
+        f"{name:>14}: {s['speedup']:.2f}x"
+        f"  ({ref['steps_per_sec']:,.0f} -> {opt['steps_per_sec']:,.0f} steps/s)"
+        f"  allocs/window {ref['allocs_in_window']} -> {opt['allocs_in_window']}"
+        f"  digest_match={s['digest_match']}"
+    )
+idle = b.get("idle")
+if idle:
+    print(
+        f"{'idle':>14}: hit rate {idle['hit_rate']:.2f}"
+        f"  ({idle['idle_skips']} skips / {idle['idle_rescans']} rescans)"
+        f"  digest_match={idle['digest_match']}"
+    )
+PY
+fi
+
+if [ -f out/BENCH_channel.json ]; then
+  echo "== bench_channel =="
+  python3 - <<'PY'
+import json
+
+with open("out/BENCH_channel.json") as f:
+    b = json.load(f)
+for k in ("speedup", "cache_hit_rate"):
+    if k in b:
+        print(f"{k}={b[k]:.3g}", end="  ")
+print()
+PY
+fi
+
 # --- headline numbers from text dumps ----------------------------------
 # Only figures whose text dump exists get a section: the binaries are
 # run piecemeal, and a missing file is not an error.
