@@ -4,18 +4,27 @@
 //!
 //! ```text
 //! campaign <campaign.json> [--list] [--dry-run] [--filter SUBSTR]
-//!          [--workers N] [--out DIR]
+//!          [--workers N] [--out DIR] [--checkpoint-every SECS]
+//!          [--resume DIR] [--stop-after N]
 //! ```
 //!
 //! * `--list` prints the expanded run names and exits;
-//! * `--dry-run` validates the campaign and every scenario it references
-//!   (materialising each grid once) without measuring anything;
+//! * `--dry-run` validates the campaign and every **distinct** scenario
+//!   it references (materialising each grid once, `O(scenarios)` not
+//!   `O(runs)`) without measuring anything;
 //! * `--filter` keeps only runs whose name contains the substring;
 //! * `--workers` overrides the shard count (default: `ELECTRIFI_THREADS`
-//!   or all cores). The summary is byte-identical for any worker count.
+//!   or all cores). The summary is byte-identical for any worker count;
+//! * `--checkpoint-every SECS` writes `checkpoint.efistate` into the
+//!   output directory whenever that much sim-time has completed;
+//! * `--resume DIR` picks up the checkpoint in DIR, skipping finished
+//!   runs. Resumed output is byte-identical to an uninterrupted run;
+//! * `--stop-after N` checkpoints and exits after N runs (testing aid).
 
-use electrifi_scenario::campaign::{run_campaign, write_artifacts, CampaignSpec};
-use electrifi_scenario::loader::Scenario;
+use electrifi_scenario::campaign::{validate_scenarios, write_artifacts, CampaignSpec};
+use electrifi_scenario::checkpoint::{
+    run_campaign_checkpointed, CampaignOutcome, CheckpointOptions,
+};
 use electrifi_testbed::sweep;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,10 +36,14 @@ struct Args {
     filter: Option<String>,
     workers: Option<usize>,
     out: PathBuf,
+    checkpoint_every: Option<f64>,
+    resume: Option<PathBuf>,
+    stop_after: Option<usize>,
 }
 
 const USAGE: &str = "usage: campaign <campaign.json> [--list] [--dry-run] \
-                     [--filter SUBSTR] [--workers N] [--out DIR]";
+                     [--filter SUBSTR] [--workers N] [--out DIR] \
+                     [--checkpoint-every SECS] [--resume DIR] [--stop-after N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut campaign = None;
@@ -39,6 +52,9 @@ fn parse_args() -> Result<Args, String> {
     let mut filter = None;
     let mut workers = None;
     let mut out = PathBuf::from("out/campaign");
+    let mut checkpoint_every = None;
+    let mut resume = None;
+    let mut stop_after = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,6 +70,31 @@ fn parse_args() -> Result<Args, String> {
                 })?);
             }
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            "--checkpoint-every" => {
+                let raw = it.next().ok_or("--checkpoint-every needs seconds")?;
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-every: not a number: {raw:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--checkpoint-every: must be positive, got {raw:?}"));
+                }
+                checkpoint_every = Some(secs);
+            }
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a directory")?,
+                ));
+            }
+            "--stop-after" => {
+                let raw = it.next().ok_or("--stop-after needs a positive integer")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--stop-after: not an integer: {raw:?}"))?;
+                if n == 0 {
+                    return Err("--stop-after: must be at least 1".to_string());
+                }
+                stop_after = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{USAGE}"));
@@ -72,6 +113,9 @@ fn parse_args() -> Result<Args, String> {
         filter,
         workers,
         out,
+        checkpoint_every,
+        resume,
+        stop_after,
     })
 }
 
@@ -119,21 +163,23 @@ fn main() -> ExitCode {
     }
 
     if args.dry_run {
-        // Materialise every scenario × seed once so structural problems
-        // surface now, without measuring anything.
-        for r in &runs {
-            let scenario = spec.scenarios[r.scenario_index].clone();
-            if let Err(e) = Scenario::load_with_seed(scenario, r.seed) {
-                eprintln!("campaign: run {}: {e}", r.run_name);
+        // Validate each distinct scenario once — O(scenarios), not
+        // O(expanded runs), so huge seed x workload sweeps list fast.
+        match validate_scenarios(&spec, &runs) {
+            Ok(n) => {
+                println!(
+                    "campaign {:?}: {} run(s) over {} scenario(s) validated, nothing executed",
+                    spec.name,
+                    runs.len(),
+                    n
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("campaign: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        println!(
-            "campaign {:?}: {} run(s) validated, nothing executed",
-            spec.name,
-            runs.len()
-        );
-        return ExitCode::SUCCESS;
     }
 
     let workers = args
@@ -145,16 +191,52 @@ fn main() -> ExitCode {
         runs.len(),
         workers
     );
-    let summary = match run_campaign(&spec, workers, args.filter.as_deref()) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("campaign: {e}");
-            return ExitCode::FAILURE;
+    let opts = CheckpointOptions {
+        every_sim_secs: args.checkpoint_every,
+        resume_from: args.resume.clone(),
+        stop_after: args.stop_after,
+    };
+    let (outcome, stats) =
+        match run_campaign_checkpointed(&spec, workers, args.filter.as_deref(), &args.out, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if stats.resume_loads > 0 {
+        eprintln!(
+            "campaign {:?}: resumed {} completed run(s) from {}",
+            spec.name,
+            stats.resumed_runs,
+            args.resume
+                .as_deref()
+                .unwrap_or(&args.out)
+                .join(electrifi_scenario::checkpoint::CHECKPOINT_FILE)
+                .display()
+        );
+    }
+    let summary = match outcome {
+        CampaignOutcome::Complete(s) => *s,
+        CampaignOutcome::Checkpointed { completed, total } => {
+            println!(
+                "campaign {:?}: stopped after {completed}/{total} run(s); resume with \
+                 --resume {}",
+                spec.name,
+                args.out.display()
+            );
+            return ExitCode::SUCCESS;
         }
     };
     if let Err(e) = write_artifacts(&summary, &args.out) {
         eprintln!("campaign: {e}");
         return ExitCode::FAILURE;
+    }
+    if stats.writes > 0 || stats.resume_loads > 0 {
+        eprintln!(
+            "checkpointing: {} write(s) totalling {} B, {} resume load(s)",
+            stats.writes, stats.bytes, stats.resume_loads
+        );
     }
     for run in &summary.runs {
         let heads: Vec<String> = run

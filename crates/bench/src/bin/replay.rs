@@ -1,0 +1,283 @@
+//! `replay` — snapshot-based deterministic replay of the PLC MAC.
+//!
+//! `record` runs a canonical contended MAC workload, snapshots the full
+//! simulation state at the cut point with `electrifi-state`, keeps
+//! running to the end of the window and stores every structured obs
+//! event emitted inside `(cut, end]` as the reference. `check` rebuilds
+//! the simulation from static config, loads the snapshot and re-runs
+//! the same window; any divergence between the replayed and recorded
+//! event streams (extra, missing or differing events) is reported and
+//! exits nonzero. `selftest` does both against a scratch directory —
+//! the CI smoke proving that resume-from-snapshot is bit-faithful.
+//!
+//! ```text
+//! replay record   [--out DIR] [--seed N] [--cut SECS] [--end SECS]
+//! replay check    [--out DIR]
+//! replay selftest [--out DIR]
+//! ```
+
+use electrifi_state::{SnapshotReader, SnapshotWriter};
+use plc_mac::sim::{Flow, PlcSim, SimConfig, StationId};
+use simnet::appliance::ApplianceKind;
+use simnet::grid::Grid;
+use simnet::obs::{Obs, ObsEvent, ObsSink};
+use simnet::schedule::Schedule;
+use simnet::time::Time;
+use simnet::traffic::{TrafficPattern, TrafficSource};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::rc::Rc;
+
+/// Sub-millisecond cut points are not useful here; millisecond
+/// resolution keeps the meta section exactly round-trippable.
+fn t_of(secs: f64) -> Time {
+    Time::from_millis((secs * 1e3).round() as u64)
+}
+
+const SNAPSHOT_FILE: &str = "replay.efistate";
+const REFERENCE_FILE: &str = "reference.jsonl";
+
+const USAGE: &str = "usage: replay <record|check|selftest> [--out DIR] \
+                     [--seed N] [--cut SECS] [--end SECS]";
+
+/// Collects every event; unlike `RingSink` nothing is ever dropped, so
+/// the reference stream is complete.
+#[derive(Default)]
+struct VecSink(Vec<ObsEvent>);
+
+impl ObsSink for VecSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        self.0.push(ev.clone());
+    }
+}
+
+struct Args {
+    mode: String,
+    out: PathBuf,
+    seed: u64,
+    cut_s: f64,
+    end_s: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut mode = None;
+    let mut out = PathBuf::from("out/replay");
+    let mut seed = 0xEF1u64;
+    let mut cut_s = 2.0;
+    let mut end_s = 4.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            "--seed" => {
+                let raw = it.next().ok_or("--seed needs an integer")?;
+                seed = raw
+                    .parse()
+                    .map_err(|_| format!("--seed: bad integer {raw:?}"))?;
+            }
+            "--cut" => {
+                let raw = it.next().ok_or("--cut needs seconds")?;
+                cut_s = raw
+                    .parse()
+                    .map_err(|_| format!("--cut: bad number {raw:?}"))?;
+            }
+            "--end" => {
+                let raw = it.next().ok_or("--end needs seconds")?;
+                end_s = raw
+                    .parse()
+                    .map_err(|_| format!("--end: bad number {raw:?}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"));
+            }
+            other => {
+                if mode.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one mode given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let args = Args {
+        mode: mode.ok_or_else(|| format!("no mode given\n{USAGE}"))?,
+        out,
+        seed,
+        cut_s,
+        end_s,
+    };
+    if !(args.cut_s > 0.0 && args.end_s > args.cut_s) {
+        return Err("need 0 < --cut < --end".to_string());
+    }
+    Ok(args)
+}
+
+/// The canonical replay workload: a 6-station ring of fast CBR probe
+/// flows over a shared bus. Probes collide often enough that the window
+/// contains collisions and tonemap updates, not just silence.
+fn build_sim(seed: u64) -> (PlcSim, Rc<RefCell<VecSink>>) {
+    let mut g = Grid::new();
+    let j0 = g.add_junction("j0");
+    let j1 = g.add_junction("j1");
+    g.connect(j0, j1, 12.0);
+    let mut outlets: Vec<(StationId, simnet::grid::NodeId)> = Vec::new();
+    for i in 0..6u16 {
+        let o = g.add_outlet(format!("s{i}"));
+        g.connect(if i % 2 == 0 { j0 } else { j1 }, o, 2.0 + i as f64);
+        outlets.push((i, o));
+    }
+    let oa = g.add_outlet("pc");
+    g.connect(j0, oa, 2.0);
+    g.attach(oa, ApplianceKind::DesktopPc, Schedule::AlwaysOn);
+
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let mut sim = PlcSim::new(cfg, &g, &outlets);
+    for i in 0..6u16 {
+        sim.add_flow(Flow::unicast(
+            i,
+            (i + 1) % 6,
+            TrafficSource::new(
+                TrafficPattern::Cbr {
+                    rate_bps: 200.0 * 1300.0 * 8.0,
+                    pkt_bytes: 1300,
+                },
+                Time::from_millis(i as u64),
+            ),
+        ));
+    }
+    let sink = Rc::new(RefCell::new(VecSink::default()));
+    sim.attach_obs(Obs::with_sink_handle(sink.clone()));
+    (sim, sink)
+}
+
+fn record(args: &Args) -> Result<(), String> {
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let (mut sim, sink) = build_sim(args.seed);
+    sim.run_until(t_of(args.cut_s));
+
+    let mut snap = SnapshotWriter::new();
+    snap.section("replay.meta", |w| {
+        w.put_u64(args.seed);
+        w.put_f64(args.cut_s);
+        w.put_f64(args.end_s);
+    });
+    snap.save("mac.sim", &sim);
+    let path = args.out.join(SNAPSHOT_FILE);
+    let bytes = snap
+        .write_to_file(&path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+
+    sink.borrow_mut().0.clear();
+    sim.run_until(t_of(args.end_s));
+    let events = std::mem::take(&mut sink.borrow_mut().0);
+    let mut jsonl = String::new();
+    for ev in &events {
+        jsonl.push_str(&serde_json::to_string(ev).expect("serialization is infallible"));
+        jsonl.push('\n');
+    }
+    let ref_path = args.out.join(REFERENCE_FILE);
+    std::fs::write(&ref_path, jsonl)
+        .map_err(|e| format!("cannot write {}: {e}", ref_path.display()))?;
+    println!(
+        "recorded: snapshot at t={}s ({bytes} B), {} reference event(s) in ({}s, {}s] -> {}",
+        args.cut_s,
+        events.len(),
+        args.cut_s,
+        args.end_s,
+        args.out.display()
+    );
+    Ok(())
+}
+
+/// Replay the recorded window and return the number of divergences.
+fn check(dir: &Path) -> Result<usize, String> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let snap = SnapshotReader::read_from_file(&path)
+        .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+    let mut meta = snap
+        .section("replay.meta")
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let read_err = |e| format!("{}: {e}", path.display());
+    let seed = meta.get_u64().map_err(read_err)?;
+    let cut_s = meta.get_f64().map_err(read_err)?;
+    let end_s = meta.get_f64().map_err(read_err)?;
+    meta.finish().map_err(read_err)?;
+
+    // Rebuild from static config, then load the dynamic state on top.
+    let (mut sim, sink) = build_sim(seed);
+    snap.load("mac.sim", &mut sim)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    sink.borrow_mut().0.clear();
+    sim.run_until(t_of(end_s));
+    let replayed = std::mem::take(&mut sink.borrow_mut().0);
+
+    let ref_path = dir.join(REFERENCE_FILE);
+    let raw = std::fs::read_to_string(&ref_path)
+        .map_err(|e| format!("cannot read {}: {e}", ref_path.display()))?;
+    let mut reference = Vec::new();
+    for (i, line) in raw.lines().enumerate() {
+        let ev: ObsEvent = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", ref_path.display(), i + 1))?;
+        reference.push(ev);
+    }
+
+    let mut divergences = 0usize;
+    let n = replayed.len().max(reference.len());
+    for i in 0..n {
+        match (reference.get(i), replayed.get(i)) {
+            (Some(want), Some(got)) if want == got => {}
+            (want, got) => {
+                divergences += 1;
+                if divergences <= 5 {
+                    eprintln!("replay: event {i} diverges:");
+                    eprintln!("  recorded: {want:?}");
+                    eprintln!("  replayed: {got:?}");
+                }
+            }
+        }
+    }
+    if divergences == 0 {
+        println!(
+            "replay: OK — {} event(s) in ({cut_s}s, {end_s}s] match the recording bit-for-bit",
+            replayed.len()
+        );
+    } else {
+        eprintln!(
+            "replay: FAIL — {divergences} divergence(s) across {} recorded / {} replayed event(s)",
+            reference.len(),
+            replayed.len()
+        );
+    }
+    Ok(divergences)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.mode.as_str() {
+        "record" => record(&args).map(|()| 0),
+        "check" => check(&args.out),
+        "selftest" => record(&args).and_then(|()| check(&args.out)),
+        other => {
+            eprintln!("unknown mode {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("replay: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

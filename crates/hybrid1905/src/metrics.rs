@@ -145,6 +145,105 @@ impl LinkMetricsDb {
     }
 }
 
+impl electrifi_state::PersistValue for Medium {
+    fn encode(&self, w: &mut electrifi_state::SectionWriter) {
+        w.put_u8(match self {
+            Medium::Plc => 0,
+            Medium::Wifi => 1,
+        });
+    }
+
+    fn decode(
+        r: &mut electrifi_state::SectionReader<'_>,
+    ) -> Result<Self, electrifi_state::StateError> {
+        match r.get_u8()? {
+            0 => Ok(Medium::Plc),
+            1 => Ok(Medium::Wifi),
+            tag => Err(r.malformed(format!("medium tag {tag}"))),
+        }
+    }
+}
+
+impl electrifi_state::PersistValue for LinkId {
+    fn encode(&self, w: &mut electrifi_state::SectionWriter) {
+        w.put_u16(self.src);
+        w.put_u16(self.dst);
+        self.medium.encode(w);
+    }
+
+    fn decode(
+        r: &mut electrifi_state::SectionReader<'_>,
+    ) -> Result<Self, electrifi_state::StateError> {
+        Ok(LinkId {
+            src: r.get_u16()?,
+            dst: r.get_u16()?,
+            medium: Medium::decode(r)?,
+        })
+    }
+}
+
+impl electrifi_state::PersistValue for LinkMetric {
+    fn encode(&self, w: &mut electrifi_state::SectionWriter) {
+        w.put_f64(self.capacity_mbps);
+        w.put(&self.loss_rate);
+        w.put(&self.updated_at);
+    }
+
+    fn decode(
+        r: &mut electrifi_state::SectionReader<'_>,
+    ) -> Result<Self, electrifi_state::StateError> {
+        Ok(LinkMetric {
+            capacity_mbps: r.get_f64()?,
+            loss_rate: r.get()?,
+            updated_at: r.get()?,
+        })
+    }
+}
+
+/// Checkpointing: records are encoded sorted by `(src, dst, medium)` so
+/// the byte stream is canonical regardless of hash-map iteration order.
+impl electrifi_state::Persist for LinkMetricsDb {
+    fn save_state(&self, w: &mut electrifi_state::SectionWriter) {
+        use electrifi_state::PersistValue;
+        let mut entries: Vec<(&LinkId, &LinkMetric)> = self.records.iter().collect();
+        entries.sort_unstable_by_key(|(id, _)| {
+            (
+                id.src,
+                id.dst,
+                match id.medium {
+                    Medium::Plc => 0u8,
+                    Medium::Wifi => 1,
+                },
+            )
+        });
+        w.put_u64(entries.len() as u64);
+        for (id, metric) in entries {
+            id.encode(w);
+            metric.encode(w);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut electrifi_state::SectionReader<'_>,
+    ) -> Result<(), electrifi_state::StateError> {
+        use electrifi_state::PersistValue;
+        let n = r.get_u64()? as usize;
+        self.records.clear();
+        for _ in 0..n {
+            let id = LinkId::decode(r)?;
+            let metric = LinkMetric::decode(r)?;
+            if self.records.insert(id, metric).is_some() {
+                return Err(r.malformed(format!(
+                    "duplicate link-metric record {}->{}",
+                    id.src, id.dst
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +262,35 @@ mod tests {
             loss_rate: Some(0.02),
             updated_at: at,
         }
+    }
+
+    #[test]
+    fn persist_roundtrip_is_canonical() {
+        use electrifi_state::{Persist, SectionReader, SectionWriter};
+        let mut db = LinkMetricsDb::new();
+        db.update(link(3, 1), metric(42.0, Time::from_secs(2)));
+        db.update(link(0, 1), metric(100.0, Time::ZERO));
+        db.update(
+            LinkId {
+                src: 0,
+                dst: 1,
+                medium: Medium::Wifi,
+            },
+            metric(65.0, Time::from_secs(1)),
+        );
+        let encode = |db: &LinkMetricsDb| {
+            let mut w = SectionWriter::new();
+            db.save_state(&mut w);
+            w.into_bytes()
+        };
+        let bytes = encode(&db);
+        let mut back = LinkMetricsDb::new();
+        let mut r = SectionReader::new("metrics.db", &bytes);
+        back.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get(link(0, 1)).unwrap().capacity_mbps, 100.0);
+        assert_eq!(bytes, encode(&back), "re-encode must be byte-identical");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod csma;
 pub mod frame;
 pub mod mm;
 pub mod pb;
+mod persist;
 pub mod reference;
 mod scratch;
 pub mod sim;

@@ -1,0 +1,398 @@
+//! Checkpoint/restore for [`PlcSim`].
+//!
+//! The simulation is rebuilt from its static configuration (grid,
+//! channels, flow definitions) first; `load_state` then restores the
+//! dynamic state on top. The split between what is persisted and what is
+//! rebuilt follows the determinism contract of `electrifi-state`:
+//!
+//! **Persisted** — the clock, the RNG position, per-station backoff and
+//! round-robin pointers, per-link estimator sufficient statistics and PB
+//! counters, per-flow traffic-source clocks, transmit queues, reassembly
+//! and delivery state, sniffer captures, and the *timestamps* of the
+//! cached per-slot spectra (plus the generation counter that version-
+//! stamps the capture cache).
+//!
+//! **Rebuilt** — everything that is a pure function of persisted state:
+//! spectrum buffers are recomputed from the channel model at their saved
+//! timestamps (`spectrum_at_phase_into` is pure in (channel, time,
+//! phase)), PBerr/mean/info-bits memos restart cold, the capture-entry
+//! memo and the scratch buffers restart cold. All of these rebuilds are
+//! bit-identical to the warm state by construction — the differential
+//! reference stepper (`reference.rs`, `tests/bit_identity.rs`) is the
+//! proof harness for exactly this class of cache.
+//!
+//! Everything map-shaped is encoded sorted by key so `save → load → save`
+//! is the identity on bytes (asserted by `tests/persist_roundtrip.rs`).
+
+use crate::csma::BackoffState;
+use crate::sim::{CachedSpectrum, PlcSim, RxState, StationId};
+use electrifi_state::{Persist, SectionReader, SectionWriter, StateError};
+use plc_phy::tonemap::TONEMAP_SLOTS;
+use plc_phy::{ChannelEstimator, SnrSpectrum};
+use simnet::time::Time;
+
+impl Persist for PlcSim {
+    fn save_state(&self, w: &mut SectionWriter) {
+        // Shape guards: a snapshot must only load into an identically
+        // configured simulation.
+        w.put_u64(self.stations.len() as u64);
+        w.put_u64(self.flows.len() as u64);
+        w.put_u64(self.n_carriers as u64);
+        w.put(&self.now);
+        w.put(&self.rng);
+
+        // Per-station MAC state. Outlets and flow memberships are
+        // construction inputs; only the contention state is dynamic.
+        for st in &self.stations {
+            w.put(&st.backoff);
+            w.put(&st.rr);
+        }
+
+        // Receiver-side link state, sorted by (src, dst).
+        let mut rx_keys: Vec<(usize, usize)> = self.rx.keys().copied().collect();
+        rx_keys.sort_unstable();
+        w.put_u64(rx_keys.len() as u64);
+        for key in rx_keys {
+            let rx = &self.rx[&key];
+            w.put_u64(key.0 as u64);
+            w.put_u64(key.1 as u64);
+            rx.estimator.save_state(w);
+            w.put(&rx.window);
+            w.put(&rx.ampstat);
+            w.put(&rx.cumulative);
+            w.put(&rx.last_observe);
+            // bits_memo is a pure memo of the estimator's tone maps;
+            // rebuilt lazily.
+        }
+
+        // Per-flow state, in flow order. Endpoints are stored only as a
+        // guard against loading into a differently-wired simulation.
+        for fs in &self.flows {
+            w.put_u16(fs.flow.src);
+            w.put_u16(fs.flow.dst);
+            fs.flow.source.save_state(w);
+            w.put_u64(fs.queue.len() as u64);
+            for pb in &fs.queue {
+                w.put(pb);
+            }
+            let mut tx: Vec<(u64, u32)> = fs.tx_counts.iter().map(|(k, v)| (*k, *v)).collect();
+            tx.sort_unstable_by_key(|(seq, _)| *seq);
+            w.put_u64(tx.len() as u64);
+            for (seq, count) in tx {
+                w.put_u64(seq);
+                w.put_u32(count);
+            }
+            w.put_seq(&fs.delivered_tx_counts);
+            fs.reassembler.save_state(w);
+            w.put_seq(&fs.delivered);
+            let mut bc: Vec<(StationId, (u64, u64))> =
+                fs.broadcast_rx.iter().map(|(k, v)| (*k, *v)).collect();
+            bc.sort_unstable_by_key(|(id, _)| *id);
+            w.put_u64(bc.len() as u64);
+            for (id, (ok, lost)) in bc {
+                w.put_u16(id);
+                w.put_u64(ok);
+                w.put_u64(lost);
+            }
+            w.put_u64(fs.dropped);
+        }
+
+        w.put_seq(&self.sniffer);
+
+        // Spectrum cache: keys and timestamps only — the buffers are a
+        // pure function of (channel, time, slot phase) and are recomputed
+        // on load.
+        let mut spec_keys: Vec<(usize, usize, u8)> = self.spectra.keys().copied().collect();
+        spec_keys.sort_unstable();
+        w.put_u64(spec_keys.len() as u64);
+        for key in spec_keys {
+            w.put_u64(key.0 as u64);
+            w.put_u64(key.1 as u64);
+            w.put_u8(key.2);
+            w.put(&self.spectra[&key].at);
+        }
+        w.put_u64(self.spectra_gen);
+    }
+
+    fn load_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), StateError> {
+        let n_stations = r.get_u64()? as usize;
+        if n_stations != self.stations.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n_stations} stations, simulation has {}",
+                self.stations.len()
+            )));
+        }
+        let n_flows = r.get_u64()? as usize;
+        if n_flows != self.flows.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n_flows} flows, simulation has {}",
+                self.flows.len()
+            )));
+        }
+        let n_carriers = r.get_u64()? as usize;
+        if n_carriers != self.n_carriers {
+            return Err(r.malformed(format!(
+                "snapshot has {n_carriers} carriers, simulation has {}",
+                self.n_carriers
+            )));
+        }
+        self.now = r.get()?;
+        self.rng = r.get()?;
+
+        for i in 0..n_stations {
+            let backoff: Option<BackoffState> = r.get()?;
+            let rr: usize = r.get()?;
+            let n = self.stations[i].flows.len();
+            if (n == 0 && rr != 0) || (n > 0 && rr >= n) {
+                return Err(r.malformed(format!(
+                    "station {i} round-robin pointer {rr} out of range (flows: {n})"
+                )));
+            }
+            self.stations[i].backoff = backoff;
+            self.stations[i].rr = rr;
+        }
+
+        let n_rx = r.get_u64()? as usize;
+        self.rx.clear();
+        for _ in 0..n_rx {
+            let src = r.get_u64()? as usize;
+            let dst = r.get_u64()? as usize;
+            if src >= n_stations || dst >= n_stations || src == dst {
+                return Err(r.malformed(format!("rx link ({src}, {dst}) out of range")));
+            }
+            let mut estimator = ChannelEstimator::new(self.cfg.estimator, self.n_carriers);
+            estimator.load_state(r)?;
+            let state = RxState {
+                estimator,
+                window: r.get()?,
+                ampstat: r.get()?,
+                cumulative: r.get()?,
+                last_observe: r.get()?,
+                bits_memo: [None; TONEMAP_SLOTS],
+            };
+            for (label, (total, err)) in [
+                ("window", state.window),
+                ("ampstat", state.ampstat),
+                ("cumulative", state.cumulative),
+            ] {
+                if err > total {
+                    return Err(r.malformed(format!(
+                        "rx ({src}, {dst}) {label} counter has {err} errors of {total} PBs"
+                    )));
+                }
+            }
+            if self.rx.insert((src, dst), state).is_some() {
+                return Err(r.malformed(format!("duplicate rx link ({src}, {dst})")));
+            }
+        }
+
+        for i in 0..n_flows {
+            let src = r.get_u16()?;
+            let dst = r.get_u16()?;
+            let fs = &mut self.flows[i];
+            if src != fs.flow.src || dst != fs.flow.dst {
+                return Err(r.malformed(format!(
+                    "flow {i} endpoints {src}->{dst} do not match configured {}->{}",
+                    fs.flow.src, fs.flow.dst
+                )));
+            }
+            fs.flow.source.load_state(r)?;
+            let q_len = r.get_u64()? as usize;
+            fs.queue.clear();
+            for _ in 0..q_len {
+                fs.queue.push_back(r.get()?);
+            }
+            let n_tx = r.get_u64()? as usize;
+            fs.tx_counts.clear();
+            for _ in 0..n_tx {
+                let seq = r.get_u64()?;
+                let count = r.get_u32()?;
+                if count == 0 {
+                    return Err(r.malformed(format!("flow {i} packet {seq} has zero tx count")));
+                }
+                if fs.tx_counts.insert(seq, count).is_some() {
+                    return Err(r.malformed(format!("flow {i} duplicate tx count for {seq}")));
+                }
+            }
+            fs.delivered_tx_counts = r.get_vec()?;
+            fs.reassembler.load_state(r)?;
+            fs.delivered = r.get_vec()?;
+            let n_bc = r.get_u64()? as usize;
+            fs.broadcast_rx.clear();
+            for _ in 0..n_bc {
+                let id = r.get_u16()?;
+                let ok = r.get_u64()?;
+                let lost = r.get_u64()?;
+                if fs.broadcast_rx.insert(id, (ok, lost)).is_some() {
+                    return Err(r.malformed(format!("flow {i} duplicate broadcast receiver {id}")));
+                }
+            }
+            fs.dropped = r.get_u64()?;
+        }
+
+        self.sniffer = r.get_vec()?;
+
+        let n_spec = r.get_u64()? as usize;
+        self.spectra.clear();
+        for _ in 0..n_spec {
+            let src = r.get_u64()? as usize;
+            let dst = r.get_u64()? as usize;
+            let slot = r.get_u8()?;
+            let at: Time = r.get()?;
+            if src >= n_stations || dst >= n_stations || src == dst {
+                return Err(r.malformed(format!("spectrum link ({src}, {dst}) out of range")));
+            }
+            if slot as usize >= TONEMAP_SLOTS {
+                return Err(r.malformed(format!("spectrum slot {slot} out of range")));
+            }
+            let Some(ch) = self.channels.get(&Self::pair(src, dst)) else {
+                return Err(r.malformed(format!(
+                    "spectrum for ({src}, {dst}) but no channel connects them"
+                )));
+            };
+            // Rebuild the buffer exactly as `refresh_spectrum` computed it
+            // at save time: the spectrum is pure in (channel, time, phase).
+            let mut entry = CachedSpectrum {
+                at,
+                spec: SnrSpectrum::empty(),
+                pberr_for: None,
+                mean_db: None,
+            };
+            let phase = (slot as f64 + 0.5) / TONEMAP_SLOTS as f64;
+            ch.spectrum_at_phase_into(Self::dir(src, dst), at, phase, &mut entry.spec);
+            if self.spectra.insert((src, dst, slot), entry).is_some() {
+                return Err(r.malformed(format!("duplicate spectrum entry ({src}, {dst}, {slot})")));
+            }
+        }
+        self.spectra_gen = r.get_u64()?;
+
+        // Pure caches restart cold; their rebuilds are bit-identical.
+        for entry in &mut self.capture_cache {
+            *entry = Default::default();
+        }
+        self.scratch = Default::default();
+        self.arrival_cache = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sim::{Flow, PlcSim, SimConfig, StationId};
+    use electrifi_state::{SnapshotReader, SnapshotWriter, StateError};
+    use simnet::appliance::ApplianceKind;
+    use simnet::grid::{Grid, NodeId};
+    use simnet::schedule::Schedule;
+    use simnet::time::Time;
+    use simnet::traffic::TrafficSource;
+
+    fn grid4() -> (Grid, Vec<(StationId, NodeId)>) {
+        let mut g = Grid::new();
+        let j0 = g.add_junction("j0");
+        let j1 = g.add_junction("j1");
+        g.connect(j0, j1, 15.0);
+        let mut outlets = Vec::new();
+        for (i, j) in [(0u16, j0), (1, j0), (2, j1), (3, j1)] {
+            let o = g.add_outlet(format!("s{i}"));
+            g.connect(j, o, 2.0 + i as f64);
+            outlets.push((i, o));
+        }
+        let oa = g.add_outlet("tv");
+        g.connect(j1, oa, 2.0);
+        g.attach(oa, ApplianceKind::Monitor, Schedule::AlwaysOn);
+        (g, outlets)
+    }
+
+    fn build() -> (PlcSim, usize, usize) {
+        let (g, outlets) = grid4();
+        let cfg = SimConfig {
+            sniffer: true,
+            ..SimConfig::default()
+        };
+        let mut s = PlcSim::new(cfg, &g, &outlets);
+        let f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        let b = s.add_flow(Flow::broadcast(1, TrafficSource::probe_150kbps()));
+        (s, f, b)
+    }
+
+    fn snapshot(sim: &PlcSim) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.save("mac.sim", sim);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn resumed_sim_is_bit_identical() {
+        let (mut straight, f, b) = build();
+        let (mut resumed, _, _) = build();
+
+        let cut = Time::from_millis(400);
+        let end = Time::from_millis(900);
+        straight.run_until(cut);
+        let bytes = snapshot(&straight);
+        SnapshotReader::from_bytes(&bytes)
+            .unwrap()
+            .load("mac.sim", &mut resumed)
+            .unwrap();
+        assert_eq!(resumed.now(), straight.now());
+
+        straight.run_until(end);
+        resumed.run_until(end);
+        assert_eq!(straight.now(), resumed.now(), "clocks diverged");
+        let (d1, d2) = (straight.take_delivered(f), resumed.take_delivered(f));
+        assert_eq!(d1.len(), d2.len(), "delivery counts diverged");
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(
+                (a.seq, a.created, a.delivered),
+                (b.seq, b.created, b.delivered)
+            );
+        }
+        assert_eq!(straight.take_tx_counts(f), resumed.take_tx_counts(f));
+        assert_eq!(
+            straight.int6krate(0, 2).to_bits(),
+            resumed.int6krate(0, 2).to_bits(),
+            "BLE estimate diverged"
+        );
+        assert_eq!(straight.pb_counters(0, 2), resumed.pb_counters(0, 2));
+        assert_eq!(straight.broadcast_stats(b), resumed.broadcast_stats(b));
+        let (r1, r2) = (straight.sniffer_records(), resumed.sniffer_records());
+        assert_eq!(r1.len(), r2.len(), "sniffer capture count diverged");
+        for (a, b) in r1.iter().zip(r2) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.sof.ble_mbps.to_bits(), b.sof.ble_mbps.to_bits());
+        }
+    }
+
+    #[test]
+    fn reencode_is_byte_identical() {
+        let (mut s, _, _) = build();
+        s.run_until(Time::from_millis(300));
+        let first = snapshot(&s);
+        let (mut fresh, _, _) = build();
+        SnapshotReader::from_bytes(&first)
+            .unwrap()
+            .load("mac.sim", &mut fresh)
+            .unwrap();
+        let second = snapshot(&fresh);
+        assert_eq!(first, second, "encode → decode → encode must be identity");
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let (mut s, _, _) = build();
+        s.run_until(Time::from_millis(100));
+        let bytes = snapshot(&s);
+
+        // A simulation with different flows must refuse the snapshot.
+        let (g, outlets) = grid4();
+        let mut other = PlcSim::new(SimConfig::default(), &g, &outlets);
+        let _ = other.add_flow(Flow::unicast(3, 1, TrafficSource::iperf_saturated()));
+        match SnapshotReader::from_bytes(&bytes)
+            .unwrap()
+            .load("mac.sim", &mut other)
+        {
+            Err(StateError::Malformed { section, .. }) => assert_eq!(section, "mac.sim"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+}

@@ -509,7 +509,7 @@ impl PlcSim {
         (a.min(b), a.max(b))
     }
 
-    fn dir(a: usize, b: usize) -> LinkDir {
+    pub(crate) fn dir(a: usize, b: usize) -> LinkDir {
         if a < b {
             LinkDir::AtoB
         } else {

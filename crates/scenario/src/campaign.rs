@@ -340,7 +340,7 @@ fn run_probing(env: &PaperEnv, policy: ProbingPolicy, wl: &WorkloadSpec) -> Expe
 
 /// Execute one run under a fresh [`Obs`]; the returned record carries
 /// the run's own metric snapshot.
-fn execute(run: &RunSpec, scenario: &ScenarioSpec) -> Result<RunRecord, ScenarioError> {
+pub(crate) fn execute(run: &RunSpec, scenario: &ScenarioSpec) -> Result<RunRecord, ScenarioError> {
     let sc = Scenario::load_with_seed(scenario.clone(), run.seed)?;
     let env = PaperEnv::from_testbed(sc.testbed);
     let obs = Obs::new();
@@ -393,6 +393,17 @@ pub fn run_campaign(
     for r in results {
         records.push(r?);
     }
+    Ok(summarize(spec, &runs, records))
+}
+
+/// Assemble the campaign summary from per-run records in expansion
+/// order. Shared by the straight-through runner and the
+/// checkpoint/resume runner so both produce byte-identical output.
+pub(crate) fn summarize(
+    spec: &CampaignSpec,
+    runs: &[RunSpec],
+    records: Vec<RunRecord>,
+) -> CampaignSummary {
     let mut totals: Vec<(String, f64)> = Vec::new();
     for rec in &records {
         for exp in &rec.experiments {
@@ -406,12 +417,36 @@ pub fn run_campaign(
         }
     }
     totals.sort_by(|a, b| a.0.cmp(&b.0));
-    Ok(CampaignSummary {
+    CampaignSummary {
         campaign: spec.name.clone(),
         config_digest: config_digest(&runs),
         runs: records,
         totals,
-    })
+    }
+}
+
+/// Validate the scenarios a (filtered) work list references without
+/// executing anything: each **distinct** scenario is materialised once,
+/// under the first seed the work list uses for it. The cost is
+/// `O(distinct scenarios)`, not `O(expanded runs)` — a campaign of
+/// 3 scenarios × 50 seeds × 4 workloads validates 3 grids, not 600.
+/// Returns the number of scenarios materialised.
+pub fn validate_scenarios(spec: &CampaignSpec, runs: &[RunSpec]) -> Result<usize, ScenarioError> {
+    let mut seen: Vec<usize> = Vec::new();
+    for r in runs {
+        if seen.contains(&r.scenario_index) {
+            continue;
+        }
+        seen.push(r.scenario_index);
+        let scenario = spec.scenarios[r.scenario_index].clone();
+        Scenario::load_with_seed(scenario, r.seed).map_err(|e| {
+            ScenarioError::invalid(
+                format!("scenarios[{}]", r.scenario_index),
+                format!("run {}: {e}", r.run_name),
+            )
+        })?;
+    }
+    Ok(seen.len())
 }
 
 /// Write per-run manifests plus `summary.json` under `out_dir`.
@@ -491,6 +526,25 @@ mod tests {
         for r in &s1.runs {
             assert_eq!(r.metrics.counter("campaign.runs_started"), 1);
         }
+    }
+
+    #[test]
+    fn dry_run_validation_is_per_scenario_not_per_run() {
+        // 2 scenarios × 2 seeds × 1 workload expands to 4 runs, but a
+        // dry run must materialise each distinct scenario exactly once.
+        let spec = tiny();
+        let runs = spec.expand();
+        assert_eq!(runs.len(), 4);
+        let validated = validate_scenarios(&spec, &runs).expect("valid scenarios");
+        assert_eq!(validated, 2);
+
+        // A filter that keeps a single scenario validates just that one.
+        let filtered: Vec<RunSpec> = spec
+            .expand()
+            .into_iter()
+            .filter(|r| r.run_name.contains("gen-b"))
+            .collect();
+        assert_eq!(validate_scenarios(&spec, &filtered).expect("valid"), 1);
     }
 
     #[test]

@@ -32,13 +32,19 @@
 
 pub mod builtin;
 pub mod campaign;
+pub mod checkpoint;
 pub mod de;
 pub mod error;
 pub mod generate;
 pub mod loader;
 pub mod spec;
 
-pub use campaign::{run_campaign, write_artifacts, CampaignSpec, CampaignSummary, RunRecord};
+pub use campaign::{
+    run_campaign, validate_scenarios, write_artifacts, CampaignSpec, CampaignSummary, RunRecord,
+};
+pub use checkpoint::{
+    run_campaign_checkpointed, CampaignOutcome, CheckpointOptions, CheckpointStats, CHECKPOINT_FILE,
+};
 pub use error::ScenarioError;
 pub use loader::Scenario;
 pub use spec::{ExperimentKind, GridSpec, ScenarioSpec, WorkloadSpec};

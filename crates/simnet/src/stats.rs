@@ -6,6 +6,7 @@
 //! (Fig. 15) and correlations between link quality and variability (§6, §8).
 //! Everything here is deterministic and allocation-light.
 
+use electrifi_state::{Persist, PersistValue, SectionReader, SectionWriter, StateError};
 use serde::{Deserialize, Serialize};
 
 /// Numerically stable running mean/variance (Welford's algorithm), plus
@@ -114,6 +115,36 @@ impl RunningStats {
     /// Coefficient of variation `std/mean` (`NaN` for zero mean).
     pub fn cv(&self) -> f64 {
         self.std() / self.mean()
+    }
+}
+
+impl PersistValue for RunningStats {
+    fn encode(&self, w: &mut SectionWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    fn decode(r: &mut SectionReader<'_>) -> Result<Self, StateError> {
+        Ok(RunningStats {
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
+    }
+}
+
+impl Persist for RunningStats {
+    fn save_state(&self, w: &mut SectionWriter) {
+        self.encode(w);
+    }
+    fn load_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), StateError> {
+        *self = RunningStats::decode(r)?;
+        Ok(())
     }
 }
 

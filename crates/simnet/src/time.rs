@@ -36,6 +36,28 @@ pub struct Time(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Duration(pub u64);
 
+impl electrifi_state::PersistValue for Time {
+    fn encode(&self, w: &mut electrifi_state::SectionWriter) {
+        w.put_u64(self.0);
+    }
+    fn decode(
+        r: &mut electrifi_state::SectionReader<'_>,
+    ) -> Result<Self, electrifi_state::StateError> {
+        Ok(Time(r.get_u64()?))
+    }
+}
+
+impl electrifi_state::PersistValue for Duration {
+    fn encode(&self, w: &mut electrifi_state::SectionWriter) {
+        w.put_u64(self.0);
+    }
+    fn decode(
+        r: &mut electrifi_state::SectionReader<'_>,
+    ) -> Result<Self, electrifi_state::StateError> {
+        Ok(Duration(r.get_u64()?))
+    }
+}
+
 impl Time {
     /// The simulation epoch (t = 0).
     pub const ZERO: Time = Time(0);

@@ -8,6 +8,7 @@
 
 use crate::stats::RunningStats;
 use crate::time::{Duration, Time};
+use electrifi_state::{Persist, SectionReader, SectionWriter, StateError};
 use serde::{Deserialize, Serialize};
 
 /// A named time series of scalar samples.
@@ -157,6 +158,27 @@ impl Series {
             s.push_str(&format!("{:.6},{:.6}\n", t.as_secs_f64(), v));
         }
         s
+    }
+}
+
+/// Checkpointing: a series is already canonical (time-ordered `Vec`), so
+/// the encoding is just name + points + the dropped counter.
+impl Persist for Series {
+    fn save_state(&self, w: &mut SectionWriter) {
+        w.put_str(&self.name);
+        w.put_seq(&self.points);
+        w.put_u64(self.dropped);
+    }
+
+    fn load_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), StateError> {
+        self.name = r.get_str()?.to_string();
+        let points: Vec<(Time, f64)> = r.get_vec()?;
+        if points.windows(2).any(|p| p[1].0 < p[0].0) {
+            return Err(r.malformed("series points not in time order"));
+        }
+        self.points = points;
+        self.dropped = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -24,6 +24,18 @@ echo "== campaign smoke (writes out/smoke-campaign/) =="
 cargo build --release -q -p electrifi-bench --bin campaign
 ./target/release/campaign scenarios/smoke-campaign.json --workers 2 --out out/smoke-campaign
 
+echo "== checkpoint/resume smoke (interrupted == uninterrupted) =="
+rm -rf out/smoke-ckpt
+./target/release/campaign scenarios/smoke-campaign.json --workers 1 \
+    --out out/smoke-ckpt --stop-after 1
+./target/release/campaign scenarios/smoke-campaign.json --workers 1 \
+    --out out/smoke-ckpt --resume out/smoke-ckpt
+cmp out/smoke-campaign/summary.json out/smoke-ckpt/summary.json
+
+echo "== bench_state (writes out/BENCH_state.json) =="
+cargo build --release -q -p electrifi-bench --bin bench_state
+./target/release/bench_state
+
 if [[ "${1:-}" == "--criterion" ]]; then
     echo "== criterion component benches =="
     cargo bench -p electrifi-bench --bench components

@@ -19,6 +19,20 @@ cargo build --release -q -p electrifi-bench --bin campaign
 ./target/release/campaign scenarios/smoke-campaign.json --dry-run
 ./target/release/campaign scenarios/smoke-campaign.json --workers 2 --out out/smoke-campaign
 
+echo "== checkpoint/resume smoke (interrupted == uninterrupted) =="
+# Stop the same campaign after one run, resume it, and require the
+# resumed summary.json to be byte-identical to the straight-through one.
+rm -rf out/smoke-ckpt
+./target/release/campaign scenarios/smoke-campaign.json --workers 1 \
+    --out out/smoke-ckpt --stop-after 1
+./target/release/campaign scenarios/smoke-campaign.json --workers 1 \
+    --out out/smoke-ckpt --resume out/smoke-ckpt
+cmp out/smoke-campaign/summary.json out/smoke-ckpt/summary.json
+
+echo "== replay smoke (snapshot -> resume -> event-stream diff) =="
+cargo build --release -q -p electrifi-bench --bin replay
+./target/release/replay selftest --out out/replay-smoke
+
 echo "== bench_mac smoke + perf gate (correctness invariants only) =="
 # Tiny windows: exercises the zero-alloc MAC loop and the bit-identity
 # digests on every change. Timing ratios are only gated by the full

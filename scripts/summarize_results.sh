@@ -29,12 +29,20 @@ for path in sorted(glob.glob("out/*.manifest.json")):
         f"{name}={value}"
         for name, value in sorted(counters, key=lambda kv: -kv[1])[:3]
     )
+    # Checkpoint bookkeeping (state.checkpoint.writes/bytes/resume_loads)
+    # is worth calling out whenever a run used snapshots at all.
+    ckpt = ", ".join(
+        f"{name.split('.')[-1]}={value}"
+        for name, value in sorted(counters)
+        if name.startswith("state.checkpoint.") and value
+    )
     print(
         f"{m.get('name', '?'):>10}  seed={m.get('seed', '?')}"
         f"  scale={m.get('scale', '?'):>5}"
         f"  horizon={m.get('sim_horizon_s', 0.0):.0f}s"
         f"  wall={wall:6.1f}s  events={events}  ({eps:,.0f} ev/s)"
         + (f"  top: {top}" if top else "")
+        + (f"  checkpoint: {ckpt}" if ckpt else "")
     )
 PY
 else
@@ -109,6 +117,25 @@ if idle:
         f"  ({idle['idle_skips']} skips / {idle['idle_rescans']} rescans)"
         f"  digest_match={idle['digest_match']}"
     )
+PY
+fi
+
+if [ -f out/BENCH_state.json ]; then
+  echo "== bench_state =="
+  python3 - <<'PY'
+import json
+
+with open("out/BENCH_state.json") as f:
+    b = json.load(f)
+kb = b.get("snapshot_bytes", 0) / 1e3
+print(
+    f"snapshot={kb:.0f}kB"
+    f"  save={b.get('save_mb_per_sec', 0):.0f}MB/s"
+    f" ({b.get('saves_per_sec', 0):.0f}/s)"
+    f"  load={b.get('load_mb_per_sec', 0):.0f}MB/s"
+    f" ({b.get('loads_per_sec', 0):.0f}/s)"
+    f"  reencode_identical={b.get('reencode_identical')}"
+)
 PY
 fi
 

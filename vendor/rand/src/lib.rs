@@ -121,6 +121,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Expose the raw xoshiro256++ state, e.g. for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a previously captured [`StdRng::state`].
+        /// The next draw continues the original sequence exactly.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
