@@ -28,6 +28,7 @@ use plc_mac::sim::{Flow, PlcSim, SimConfig, StationId};
 use serde::Serialize;
 use simnet::appliance::ApplianceKind;
 use simnet::grid::Grid;
+use simnet::obs::span::{self, RunProfile, SpanConfig};
 use simnet::obs::{self, Obs};
 use simnet::schedule::Schedule;
 use simnet::time::{Duration, Time};
@@ -95,6 +96,27 @@ struct IdleReport {
     digest_match: bool,
 }
 
+/// Cost of the span-tracing hot path: the optimized quiesced Fig. 16
+/// arm with stats-mode spans enabled versus the same arm with spans
+/// disabled. `scripts/perf_gate.sh` requires `ratio >= 0.95` (spans may
+/// cost at most 5%) and `digest_match == true` (observation never
+/// perturbs the simulation).
+#[derive(Debug, Clone, Serialize)]
+struct SpanOverhead {
+    /// Simulated seconds in the timed window.
+    window_sim_s: f64,
+    /// Steps/sec with span collection disabled (the ambient default).
+    disabled_steps_per_sec: f64,
+    /// Steps/sec with a stats-mode span collector active.
+    enabled_steps_per_sec: f64,
+    /// enabled over disabled steps/sec (1.0 = spans are free).
+    ratio: f64,
+    /// The traced and untraced arms saw byte-identical observables.
+    digest_match: bool,
+    /// Top spans by self-time observed during the enabled arm.
+    spans: RunProfile,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     name: &'static str,
@@ -114,6 +136,9 @@ struct BenchReport {
     /// as the figure experiments see it.
     full_profile: Comparison,
     idle: IdleReport,
+    /// Span-tracing overhead on the gated workload (the gate requires
+    /// ratio ≥ 0.95 and a digest match).
+    span_overhead: SpanOverhead,
 }
 
 /// Bus-topology grid mirroring the figure experiments' procedural grids.
@@ -393,6 +418,42 @@ fn compare(
     )
 }
 
+/// Measure the span hot-path cost: best-of-`reps` optimized quiesced
+/// Fig. 16 arms, once with span collection off and once under a
+/// stats-mode collector ([`span::scoped`]). Both arms must produce the
+/// same digest — spans observe the simulation, they never steer it.
+fn measure_span_overhead(
+    flows: &[(StationId, StationId)],
+    window: Duration,
+    chunk: Duration,
+    reps: usize,
+) -> SpanOverhead {
+    const TOP_SPANS: usize = 12;
+    let (disabled, _) = best_of(reps, build_fig16, flows, false, true, window, chunk);
+    let mut enabled: Option<(Arm, span::SpanReport)> = None;
+    for _ in 0..reps.max(1) {
+        let ((arm, _), report) = span::scoped(SpanConfig::stats(), || {
+            run_arm(build_fig16, flows, false, true, window, chunk)
+        });
+        if let Some((b, _)) = &enabled {
+            assert_eq!(b.digest, arm.digest, "nondeterministic arm across reps");
+            if arm.steps_per_sec <= b.steps_per_sec {
+                continue;
+            }
+        }
+        enabled = Some((arm, report));
+    }
+    let (enabled, report) = enabled.expect("reps >= 1");
+    SpanOverhead {
+        window_sim_s: window.as_secs_f64(),
+        disabled_steps_per_sec: disabled.steps_per_sec,
+        enabled_steps_per_sec: enabled.steps_per_sec,
+        ratio: enabled.steps_per_sec / disabled.steps_per_sec.max(1e-9),
+        digest_match: disabled.digest == enabled.digest,
+        spans: report.profile(TOP_SPANS),
+    }
+}
+
 fn main() {
     let smoke = std::env::var("ELECTRIFI_BENCH_SMOKE").map(|v| v == "1") == Ok(true);
     let secs: f64 = std::env::var("ELECTRIFI_BENCH_SECS")
@@ -466,6 +527,16 @@ fn main() {
         idle.hit_rate, idle.idle_skips, idle.idle_rescans, idle.speedup, idle.digest_match,
     );
 
+    eprintln!("bench_mac: span overhead on the fig16 quiesced workload...");
+    let span_overhead = measure_span_overhead(&ring_flows, window, chunk, reps);
+    eprintln!(
+        "  disabled {:>12.0} steps/s | enabled {:>12.0} steps/s | ratio {:.3} | digest match: {}",
+        span_overhead.disabled_steps_per_sec,
+        span_overhead.enabled_steps_per_sec,
+        span_overhead.ratio,
+        span_overhead.digest_match,
+    );
+
     let report = BenchReport {
         name: "bench_mac",
         seed: SEED,
@@ -475,6 +546,7 @@ fn main() {
         saturated,
         full_profile,
         idle,
+        span_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize") + "\n";
     std::fs::create_dir_all("out").expect("create out/");

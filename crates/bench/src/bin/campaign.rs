@@ -19,15 +19,26 @@
 //!   output directory whenever that much sim-time has completed;
 //! * `--resume DIR` picks up the checkpoint in DIR, skipping finished
 //!   runs. Resumed output is byte-identical to an uninterrupted run;
-//! * `--stop-after N` checkpoints and exits after N runs (testing aid).
+//! * `--stop-after N` checkpoints and exits after N runs (testing aid);
+//! * `--progress FILE` writes an atomically-replaced progress.json
+//!   heartbeat (runs done/total/failed, per-worker throughput, EWMA
+//!   rate, ETA) every `--progress-every SECS` (default 1);
+//! * `--follow FILE` appends one JSON line per completed run;
+//! * `--trace FILE` records wall-clock spans across the campaign and
+//!   writes a Chrome `trace_event` JSON (Perfetto-viewable), sampling
+//!   every `--trace-sample N`-th root span (default 1 = all).
+//!
+//! Telemetry and tracing are strictly observational: `summary.json` and
+//! the per-run manifests are byte-identical with them on or off.
 
 use electrifi_scenario::campaign::{validate_scenarios, write_artifacts, CampaignSpec};
-use electrifi_scenario::checkpoint::{
-    run_campaign_checkpointed, CampaignOutcome, CheckpointOptions,
-};
+use electrifi_scenario::checkpoint::{run_campaign_monitored, CampaignOutcome, CheckpointOptions};
+use electrifi_scenario::telemetry::TelemetryOptions;
 use electrifi_testbed::sweep;
+use simnet::obs::span::{self, SpanConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     campaign: String,
@@ -39,11 +50,18 @@ struct Args {
     checkpoint_every: Option<f64>,
     resume: Option<PathBuf>,
     stop_after: Option<usize>,
+    progress: Option<PathBuf>,
+    progress_every: f64,
+    follow: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_sample: u64,
 }
 
 const USAGE: &str = "usage: campaign <campaign.json> [--list] [--dry-run] \
                      [--filter SUBSTR] [--workers N] [--out DIR] \
-                     [--checkpoint-every SECS] [--resume DIR] [--stop-after N]";
+                     [--checkpoint-every SECS] [--resume DIR] [--stop-after N] \
+                     [--progress FILE] [--progress-every SECS] [--follow FILE] \
+                     [--trace FILE] [--trace-sample N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut campaign = None;
@@ -55,6 +73,11 @@ fn parse_args() -> Result<Args, String> {
     let mut checkpoint_every = None;
     let mut resume = None;
     let mut stop_after = None;
+    let mut progress = None;
+    let mut progress_every = 1.0f64;
+    let mut follow = None;
+    let mut trace = None;
+    let mut trace_sample = 1u64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -95,6 +118,35 @@ fn parse_args() -> Result<Args, String> {
                 }
                 stop_after = Some(n);
             }
+            "--progress" => {
+                progress = Some(PathBuf::from(it.next().ok_or("--progress needs a file")?));
+            }
+            "--progress-every" => {
+                let raw = it.next().ok_or("--progress-every needs seconds")?;
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--progress-every: not a number: {raw:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--progress-every: must be positive, got {raw:?}"));
+                }
+                progress_every = secs;
+            }
+            "--follow" => {
+                follow = Some(PathBuf::from(it.next().ok_or("--follow needs a file")?));
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
+            }
+            "--trace-sample" => {
+                let raw = it.next().ok_or("--trace-sample needs a positive integer")?;
+                let n: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--trace-sample: not an integer: {raw:?}"))?;
+                if n == 0 {
+                    return Err("--trace-sample: must be at least 1".to_string());
+                }
+                trace_sample = n;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{USAGE}"));
@@ -116,7 +168,46 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every,
         resume,
         stop_after,
+        progress,
+        progress_every,
+        follow,
+        trace,
+        trace_sample,
     })
+}
+
+fn write_trace(path: &PathBuf, report: &span::SpanReport) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut buf = Vec::new();
+    span::write_chrome_trace(&report.events, &mut buf).map_err(|e| e.to_string())?;
+    std::fs::write(path, buf).map_err(|e| e.to_string())
+}
+
+fn print_top_spans(report: &span::SpanReport) {
+    let profile = report.profile(8);
+    if profile.spans.is_empty() {
+        return;
+    }
+    eprintln!(
+        "{:>24} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "span", "count", "self_ms", "total_ms", "p50_us", "p90_us", "p99_us"
+    );
+    for s in &profile.spans {
+        eprintln!(
+            "{:>24} {:>10} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>9.1}",
+            s.name,
+            s.count,
+            s.self_ns as f64 / 1e6,
+            s.total_ns as f64 / 1e6,
+            s.p50_ns / 1e3,
+            s.p90_ns / 1e3,
+            s.p99_ns / 1e3
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -196,14 +287,54 @@ fn main() -> ExitCode {
         resume_from: args.resume.clone(),
         stop_after: args.stop_after,
     };
-    let (outcome, stats) =
-        match run_campaign_checkpointed(&spec, workers, args.filter.as_deref(), &args.out, &opts) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("campaign: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let telemetry = TelemetryOptions {
+        progress: args.progress.clone(),
+        progress_every: Duration::from_secs_f64(args.progress_every),
+        follow: args.follow.clone(),
+    };
+    // Tracing covers the whole campaign: the sharded sweep re-enables
+    // the coordinator's span configuration inside every worker and
+    // absorbs the reports in chunk order, so one Chrome trace shows all
+    // lanes on their own tid rows.
+    if args.trace.is_some() {
+        span::enable(SpanConfig::traced(args.trace_sample));
+    }
+    let result = run_campaign_monitored(
+        &spec,
+        workers,
+        args.filter.as_deref(),
+        &args.out,
+        &opts,
+        &telemetry,
+    );
+    if let Some(trace_path) = &args.trace {
+        let report = span::disable();
+        if let Err(e) = write_trace(trace_path, &report) {
+            eprintln!(
+                "campaign: could not write trace {}: {e}",
+                trace_path.display()
+            );
+        } else {
+            eprintln!(
+                "trace: {} event(s) -> {}{}",
+                report.events.len(),
+                trace_path.display(),
+                if report.dropped_events > 0 {
+                    format!(" ({} dropped at the buffer cap)", report.dropped_events)
+                } else {
+                    String::new()
+                }
+            );
+            print_top_spans(&report);
+        }
+    }
+    let (outcome, stats) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if stats.resume_loads > 0 {
         eprintln!(
             "campaign {:?}: resumed {} completed run(s) from {}",

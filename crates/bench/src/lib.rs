@@ -9,8 +9,22 @@
 #![warn(missing_docs)]
 
 use electrifi::experiments::Scale;
+use simnet::obs::span::{self, SpanConfig};
 use simnet::obs::{self, Obs, RunManifest};
 use simnet::time::Time;
+
+/// Environment variable naming a Chrome `trace_event` JSON output path.
+/// When set, the run collects spans (with trace events) and writes the
+/// trace there on [`RunGuard::finish`].
+pub const TRACE_ENV: &str = "ELECTRIFI_TRACE";
+/// Trace every Nth root span (default 1 = all); see [`TRACE_ENV`].
+pub const TRACE_SAMPLE_ENV: &str = "ELECTRIFI_TRACE_SAMPLE";
+/// When set to `1`, collect span statistics (no trace events) and embed
+/// a profile in the manifest even without [`TRACE_ENV`].
+pub const PROFILE_ENV: &str = "ELECTRIFI_PROFILE";
+
+/// Spans kept in a manifest's profile section.
+const PROFILE_TOP_SPANS: usize = 12;
 
 /// Scale selection for the reproduction binaries: `Paper` by default,
 /// `Quick` when `ELECTRIFI_SCALE=quick` is set (smoke runs / CI).
@@ -42,6 +56,10 @@ pub struct RunGuard {
     obs: Obs,
     prev: Obs,
     start: std::time::Instant,
+    /// Where to write the Chrome trace on finish (from `ELECTRIFI_TRACE`).
+    trace_path: Option<String>,
+    /// Whether *this guard* enabled span collection (and must disable it).
+    spans_enabled: bool,
 }
 
 impl RunGuard {
@@ -52,6 +70,26 @@ impl RunGuard {
     pub fn begin(name: &str, seed: u64, scale: Scale) -> Self {
         let obs = Obs::new();
         let prev = obs::set_default(obs.clone());
+        let trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
+        let profile_only = std::env::var(PROFILE_ENV).is_ok_and(|v| v == "1");
+        // Respect an already-active collector (e.g. a campaign harness
+        // tracing across runs): the guard then neither enables nor
+        // disables, and the harness owns the report.
+        let spans_enabled = if span::is_enabled() {
+            false
+        } else if trace_path.is_some() {
+            let sample = std::env::var(TRACE_SAMPLE_ENV)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(1);
+            span::enable(SpanConfig::traced(sample));
+            true
+        } else if profile_only {
+            span::enable(SpanConfig::stats());
+            true
+        } else {
+            false
+        };
         RunGuard {
             name: name.to_string(),
             seed,
@@ -61,6 +99,8 @@ impl RunGuard {
             obs,
             prev,
             start: std::time::Instant::now(),
+            trace_path: if spans_enabled { trace_path } else { None },
+            spans_enabled,
         }
     }
 
@@ -86,6 +126,27 @@ impl RunGuard {
     pub fn finish(self) -> RunManifest {
         let wall_clock_s = self.start.elapsed().as_secs_f64();
         obs::set_default(self.prev);
+        let profile = if self.spans_enabled {
+            let report = span::disable();
+            if let Some(path) = &self.trace_path {
+                if let Err(e) = write_trace_file(path, &report) {
+                    eprintln!("warning: could not write trace {path}: {e}");
+                } else if report.dropped_events > 0 {
+                    eprintln!(
+                        "warning: trace {path} dropped {} event(s) at the buffer cap \
+                         (raise {TRACE_SAMPLE_ENV} to sample)",
+                        report.dropped_events
+                    );
+                }
+            }
+            Some(report.profile(PROFILE_TOP_SPANS))
+        } else {
+            None
+        };
+        let flush_errors = self.obs.flush();
+        if flush_errors > 0 {
+            eprintln!("warning: event sink lost {flush_errors} event(s) to write errors");
+        }
         let metrics = self.obs.registry().snapshot();
         let manifest = RunManifest {
             name: self.name,
@@ -96,6 +157,7 @@ impl RunGuard {
             wall_clock_s,
             events_fired: metrics.counter("sim.events_fired"),
             metrics,
+            profile,
         };
         let path = format!("out/{}.manifest.json", manifest.name);
         let json = serde_json::to_string_pretty(&manifest)
@@ -113,6 +175,19 @@ impl RunGuard {
         }
         manifest
     }
+}
+
+/// Write a span report's events as Chrome trace JSON at `path`, creating
+/// parent directories as needed.
+fn write_trace_file(path: &str, report: &span::SpanReport) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut buf = Vec::new();
+    span::write_chrome_trace(&report.events, &mut buf).map_err(|e| e.to_string())?;
+    std::fs::write(path, buf).map_err(|e| e.to_string())
 }
 
 /// Render a plain-text table: a header row and aligned columns.

@@ -160,6 +160,9 @@ fn probe_at_rate(
     rate: u32,
     bytes: u32,
 ) -> Series {
+    // One span per (link, rate) probing campaign — the per-frame loop
+    // inside is far too hot to trace individually.
+    let _span = simnet::obs::span::enter_at("probe.at_rate", start);
     let mut series = Series::new(format!("{rate} pkt/s"));
     let gap = Duration::from_secs_f64(1.0 / rate as f64);
     let mut t = start;

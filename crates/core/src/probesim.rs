@@ -17,7 +17,7 @@ use plc_phy::SnrSpectrum;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use simnet::obs::{Counter, Registry};
+use simnet::obs::{self, Counter, Registry};
 use simnet::rng::Distributions;
 use simnet::time::{Duration, Time};
 
@@ -239,6 +239,7 @@ impl LinkProbeSim {
     /// tone-map refinements run their course. Returns the time at which
     /// steady-state measurement can start.
     pub fn warmup(&mut self, start: Time, secs: u64) -> Time {
+        let _span = obs::span::enter_at("probe.warmup", start);
         let end = start + Duration::from_secs(secs);
         self.saturate_interval(start, end, Duration::from_millis(20));
         end
@@ -253,6 +254,9 @@ impl LinkProbeSim {
         end: Time,
         frame_interval: Duration,
     ) -> Option<FrameOutcome> {
+        // One span per burst, not per frame — a frame is the innermost
+        // hot call and would dominate any trace it appears in.
+        let _span = obs::span::enter_at("probe.saturate", start);
         let mut t = start;
         let mut last = None;
         // A max-duration frame carries ~53 symbols worth of PBs; payload

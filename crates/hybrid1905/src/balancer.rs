@@ -153,6 +153,7 @@ pub fn combine_streams(
     total: usize,
     seed: u64,
 ) -> CombinedDelivery {
+    let _span = simnet::obs::span::enter("hybrid.split");
     let obs = simnet::obs::current();
     // Reorder-buffer residence time per packet (µs): how long an
     // early-delivered packet waits for its in-order turn. Recording is a

@@ -110,6 +110,7 @@ impl PolicyEvaluation {
 /// probed BLE, the truth is the mean BLE until the next probe, and the
 /// error is their absolute difference.
 pub fn evaluate_policy(policy: ProbingPolicy, traces: &[Series]) -> PolicyEvaluation {
+    let _span = simnet::obs::span::enter("hybrid.probe_eval");
     let mut errors = Vec::new();
     let mut probes = 0u64;
     let mut total_link_seconds = 0.0;

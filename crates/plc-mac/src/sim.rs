@@ -28,7 +28,7 @@ use plc_phy::{ChannelEstimator, PlcChannel, PlcTechnology, SnrSpectrum};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::grid::{Grid, NodeId};
-use simnet::obs::{Counter, Obs, Registry};
+use simnet::obs::{self, Counter, Obs, Registry};
 use simnet::rng::Distributions;
 use simnet::time::{Duration, Time, BEACON_PERIOD};
 use simnet::traffic::TrafficSource;
@@ -554,6 +554,7 @@ impl PlcSim {
             None => true,
         };
         if needs {
+            let _span = obs::span::enter_at("mac.spectrum_refresh", now);
             self.metrics.spec_refreshes.inc();
             self.spectra_gen += 1;
             let ch = self
@@ -750,6 +751,10 @@ impl PlcSim {
 
     /// Run the simulation until `end`.
     pub fn run_until(&mut self, end: Time) {
+        // One span per call, not per step: callers advance in chunks, so
+        // this stays far off the per-step hot path while still
+        // attributing the MAC loop's wall clock.
+        let _span = obs::span::enter_at("mac.run_until", self.now);
         while self.now < end {
             self.step(end);
         }
@@ -827,6 +832,9 @@ impl PlcSim {
             self.metrics.idle_skips.inc();
             return cached;
         }
+        // Only the (rare) rescan gets a span; the skip path above is the
+        // analytic fast path the idle-skip optimisation exists for.
+        let _span = obs::span::enter_at("mac.idle_rescan", self.now);
         self.metrics.idle_rescans.inc();
         let cacheable = self
             .flows
@@ -925,6 +933,7 @@ impl PlcSim {
         let min_needed =
             contention + timing::frame_exchange_overhead() + Duration::from_micros_f64(SYMBOL_US);
         if budget < min_needed {
+            let _span = obs::span::enter_at("mac.beacon_region", self.now);
             self.now = Self::skip_beacon_region(self.now + budget);
             return;
         }

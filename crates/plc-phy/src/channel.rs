@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use simnet::appliance::{ApplianceProfile, CABLE_Z0_OHMS};
 use simnet::grid::{Grid, NodeId, NodeKind};
 use simnet::noise::{impulse_at, ValueNoise};
-use simnet::obs::Counter;
+use simnet::obs::{self, Counter};
 use simnet::schedule::Schedule;
 use simnet::time::Time;
 use std::cell::RefCell;
@@ -602,13 +602,20 @@ impl PlcChannel {
         // --- Cached per-carrier vectors.
         let mut guard = self.cache.state.borrow_mut();
         let state = &mut *guard;
-        let st = state.stat.get_or_insert_with(|| self.build_static_terms());
+        let st = state.stat.get_or_insert_with(|| {
+            let _span = obs::span::enter_at("phy.static_build", t);
+            self.build_static_terms()
+        });
         let metrics = state.metrics.get_or_insert_with(CacheMetrics::register);
         let ep = &mut state.epoch;
         self.epoch_key_into(t, &mut ep.key_scratch);
         if ep.valid && ep.key == ep.key_scratch {
             metrics.epoch_hits.inc();
         } else {
+            // Cache-miss path only: the hit path is far too hot for a
+            // span (its cost shows up in callers' self time; its rate is
+            // already the epoch_hits counter).
+            let _span = obs::span::enter_at("phy.epoch_rebuild", t);
             metrics.epoch_rebuilds.inc();
             std::mem::swap(&mut ep.key, &mut ep.key_scratch);
             self.rebuild_epoch(t, st, ep);

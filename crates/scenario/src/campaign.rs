@@ -341,8 +341,11 @@ fn run_probing(env: &PaperEnv, policy: ProbingPolicy, wl: &WorkloadSpec) -> Expe
 /// Execute one run under a fresh [`Obs`]; the returned record carries
 /// the run's own metric snapshot.
 pub(crate) fn execute(run: &RunSpec, scenario: &ScenarioSpec) -> Result<RunRecord, ScenarioError> {
+    let setup_span = obs::span::enter("campaign.run_setup");
     let sc = Scenario::load_with_seed(scenario.clone(), run.seed)?;
     let env = PaperEnv::from_testbed(sc.testbed);
+    drop(setup_span);
+    let _span = obs::span::enter("campaign.run_execute");
     let obs = Obs::new();
     let experiments = obs::with_default(obs.clone(), || {
         obs::current()
@@ -452,6 +455,7 @@ pub fn validate_scenarios(spec: &CampaignSpec, runs: &[RunSpec]) -> Result<usize
 /// Write per-run manifests plus `summary.json` under `out_dir`.
 /// All files are written by the coordinator, never by workers.
 pub fn write_artifacts(summary: &CampaignSummary, out_dir: &Path) -> Result<(), ScenarioError> {
+    let _span = obs::span::enter("campaign.emit");
     let io_err = |path: &Path, e: std::io::Error| ScenarioError::Io {
         path: path.to_string_lossy().into_owned(),
         message: e.to_string(),

@@ -23,10 +23,12 @@
 
 use crate::campaign::{execute, summarize, CampaignSpec, CampaignSummary, RunRecord, RunSpec};
 use crate::error::ScenarioError;
+use crate::telemetry::{Telemetry, TelemetryOptions};
 use electrifi_state::{SnapshotReader, SnapshotWriter, StateError};
 use electrifi_testbed::sweep;
 use simnet::obs::{self, config_digest};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// File name of the campaign checkpoint inside the output directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.efistate";
@@ -88,6 +90,9 @@ fn write_checkpoint(
     total: usize,
     records: &[RunRecord],
 ) -> Result<u64, ScenarioError> {
+    // The state crate has no simnet dependency, so snapshot encode/decode
+    // spans live here at the call sites.
+    let _span = obs::span::enter("state.checkpoint_write");
     let mut snap = SnapshotWriter::new();
     snap.section("campaign.meta", |w| {
         w.put_str(digest);
@@ -112,6 +117,7 @@ pub fn load_checkpoint(
     expected_digest: &str,
     total: usize,
 ) -> Result<Vec<RunRecord>, ScenarioError> {
+    let _span = obs::span::enter("state.checkpoint_load");
     let path = dir.join(CHECKPOINT_FILE);
     let snap = SnapshotReader::read_from_file(&path).map_err(|e| state_to_scenario(&path, e))?;
     let to_err = |e: StateError| state_to_scenario(&path, e);
@@ -168,6 +174,28 @@ pub fn run_campaign_checkpointed(
     out_dir: &Path,
     opts: &CheckpointOptions,
 ) -> Result<(CampaignOutcome, CheckpointStats), ScenarioError> {
+    run_campaign_monitored(
+        spec,
+        workers,
+        filter,
+        out_dir,
+        opts,
+        &TelemetryOptions::default(),
+    )
+}
+
+/// [`run_campaign_checkpointed`] with live telemetry: a `progress.json`
+/// heartbeat and/or a JSONL follow stream (see
+/// [`TelemetryOptions`]). Telemetry is strictly observational — the
+/// summary and per-run manifests are byte-identical with it on or off.
+pub fn run_campaign_monitored(
+    spec: &CampaignSpec,
+    workers: usize,
+    filter: Option<&str>,
+    out_dir: &Path,
+    opts: &CheckpointOptions,
+    telemetry: &TelemetryOptions,
+) -> Result<(CampaignOutcome, CheckpointStats), ScenarioError> {
     let runs: Vec<RunSpec> = spec
         .expand()
         .into_iter()
@@ -196,6 +224,14 @@ pub fn run_campaign_checkpointed(
 
     let ckpt_path = out_dir.join(CHECKPOINT_FILE);
     let workers = workers.max(1);
+    let monitor = Telemetry::start(
+        &spec.name,
+        &digest,
+        runs.len(),
+        workers,
+        stats.resumed_runs,
+        telemetry,
+    );
     let mut sim_secs_since_ckpt = 0.0f64;
     while records.len() < runs.len() {
         let done = records.len();
@@ -213,8 +249,22 @@ pub fn run_campaign_checkpointed(
             take = take.min(stop - done);
         }
         let wave = &runs[done..done + take];
-        let results = sweep::par_map_workers(wave, workers, |_, run| {
-            execute(run, &spec.scenarios[run.scenario_index])
+        // A wave never exceeds `workers`, so the sweep's chunk length is
+        // 1 and the wave-local index doubles as the worker lane.
+        let results = sweep::par_map_workers(wave, workers, |i, run| {
+            let started = Instant::now();
+            let result = execute(run, &spec.scenarios[run.scenario_index]);
+            if let Some(m) = &monitor {
+                m.run_done(
+                    done + i,
+                    i,
+                    run,
+                    &spec.scenarios[run.scenario_index].name,
+                    &result,
+                    started.elapsed(),
+                );
+            }
+            result
         });
         for r in results {
             records.push(r?);

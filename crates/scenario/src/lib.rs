@@ -38,6 +38,7 @@ pub mod error;
 pub mod generate;
 pub mod loader;
 pub mod spec;
+pub mod telemetry;
 
 pub use campaign::{
     run_campaign, validate_scenarios, write_artifacts, CampaignSpec, CampaignSummary, RunRecord,
@@ -48,3 +49,4 @@ pub use checkpoint::{
 pub use error::ScenarioError;
 pub use loader::Scenario;
 pub use spec::{ExperimentKind, GridSpec, ScenarioSpec, WorkloadSpec};
+pub use telemetry::{ProgressSnapshot, RunCompletion, Telemetry, TelemetryOptions};

@@ -38,6 +38,8 @@ use std::fmt::Debug;
 use std::io;
 use std::rc::Rc;
 
+pub mod span;
+
 // ---------------------------------------------------------------------------
 // Metric handles
 // ---------------------------------------------------------------------------
@@ -304,6 +306,42 @@ pub struct HistoSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistoSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets by
+    /// linear interpolation inside the bucket holding the target rank.
+    ///
+    /// Power-of-two buckets bound the relative error by 2x, which is
+    /// plenty for profiling-style "is p99 a microsecond or a
+    /// millisecond?" questions. Returns `None` for an empty histogram or
+    /// an out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the target sample, 1-based; q=0 maps to the first.
+        let target = (q * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for &(le, c) in &self.buckets {
+            let below = seen as f64;
+            seen += c;
+            if (seen as f64) >= target {
+                // Bucket bounds: le 0 → [0,0]; otherwise [le/2+1, le]
+                // (the first value bucket, le 1, holds exactly {1}).
+                let (lo, hi) = if le == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (((le >> 1) + 1) as f64, le as f64)
+                };
+                let frac = (target - below) / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+        }
+        // Unreachable for a consistent snapshot (buckets sum to count),
+        // but degrade gracefully for hand-built ones.
+        self.buckets.last().map(|&(le, _)| le as f64)
+    }
+}
+
 /// A deterministic, name-sorted snapshot of a [`Registry`].
 ///
 /// Two same-seed runs of the same experiment produce byte-identical
@@ -423,6 +461,14 @@ pub trait ObsSink {
 
     /// Flush any buffered output (no-op by default).
     fn flush(&mut self) {}
+
+    /// Number of events lost to I/O errors so far (0 for in-memory
+    /// sinks). Sinks never propagate write failures mid-run — a failing
+    /// log must not perturb a simulation — but runners should surface
+    /// this count at flush time instead of dropping telemetry invisibly.
+    fn error_count(&self) -> u64 {
+        0
+    }
 }
 
 /// A sink that discards everything. An [`Obs`] with no sink at all skips
@@ -528,6 +574,10 @@ impl<W: io::Write> ObsSink for JsonlSink<W> {
             self.errors += 1;
         }
     }
+
+    fn error_count(&self) -> u64 {
+        self.errors
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -608,10 +658,16 @@ impl Obs {
         }
     }
 
-    /// Flush the sink, if any.
-    pub fn flush(&self) {
+    /// Flush the sink, if any, and report how many events it has lost to
+    /// write errors so far (0 with no sink). Runners warn on a non-zero
+    /// count — silently vanishing telemetry is worse than a noisy run.
+    pub fn flush(&self) -> u64 {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().flush();
+            let mut sink = sink.borrow_mut();
+            sink.flush();
+            sink.error_count()
+        } else {
+            0
         }
     }
 }
@@ -663,6 +719,11 @@ pub struct RunManifest {
     pub events_fired: u64,
     /// Final metrics snapshot.
     pub metrics: MetricsSnapshot,
+    /// Wall-clock span profile (top spans by self time), when the run was
+    /// traced (`null` otherwise — and by design: the profile is the one
+    /// manifest section allowed to differ between traced and untraced
+    /// runs of the same seed).
+    pub profile: Option<span::RunProfile>,
 }
 
 impl RunManifest {
@@ -835,6 +896,70 @@ mod tests {
             serde_json::to_string(&reg.snapshot()).expect("serialize")
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let h = Histo::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // Exact median of 1..=100 is 50.5; the log2 estimate must land in
+        // the right bucket ([33, 64]) and be a sane interpolation.
+        let p50 = snap.quantile(0.50).expect("non-empty");
+        assert!((33.0..=64.0).contains(&p50), "p50 = {p50}");
+        let p99 = snap.quantile(0.99).expect("non-empty");
+        assert!((65.0..=128.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        // Extremes: q=0 is the smallest sample's bucket, q=1 the largest.
+        assert!(snap.quantile(0.0).expect("q0") >= 1.0);
+        assert!(snap.quantile(1.0).expect("q1") <= 128.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram and out-of-range q → None.
+        let empty = Histo::default().snapshot();
+        assert_eq!(empty.quantile(0.5), None);
+        let h = Histo::default();
+        h.record(7);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(-0.1), None);
+        assert_eq!(snap.quantile(1.1), None);
+        // A single sample: every quantile lands in its bucket [5, 7].
+        let p50 = snap.quantile(0.5).expect("one sample");
+        assert!((5.0..=7.0).contains(&p50), "p50 = {p50}");
+        // All-zero samples sit in the zero bucket.
+        let z = Histo::default();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.snapshot().quantile(0.9), Some(0.0));
+    }
+
+    /// An `io::Write` that always fails, for exercising error surfacing.
+    struct FailingWriter;
+    impl io::Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk gone"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("disk gone"))
+        }
+    }
+
+    #[test]
+    fn flush_reports_sink_error_count() {
+        let obs = Obs::with_sink(JsonlSink::new(FailingWriter));
+        obs.emit(Time(1), "c", "k", Vec::new);
+        obs.emit(Time(2), "c", "k", Vec::new);
+        // Two failed writes plus one failed flush.
+        assert_eq!(obs.flush(), 3);
+        // A healthy sink (and no sink at all) reports zero.
+        let ok = Obs::with_sink(JsonlSink::new(Vec::new()));
+        ok.emit(Time(1), "c", "k", Vec::new);
+        assert_eq!(ok.flush(), 0);
+        assert_eq!(Obs::disabled().flush(), 0);
     }
 
     #[test]

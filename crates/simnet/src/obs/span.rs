@@ -1,0 +1,910 @@
+//! Wall-clock span tracing and self-profiling.
+//!
+//! The metrics registry says *what* happened; spans say *where the wall
+//! clock went*. A span is an RAII region ([`enter`] / [`enter_at`] →
+//! [`SpanGuard`]) on a thread-local stack: nested spans attribute their
+//! duration to themselves and subtract it from the enclosing span's
+//! *self time*, so a profile ranks phases by the time actually spent in
+//! them rather than in their callees.
+//!
+//! Like the rest of [`obs`](crate::obs), everything is hand-rolled (no
+//! `tracing` crate) and obeys the inertness invariant:
+//!
+//! * **Disabled is free and bit-inert.** When no collector is installed
+//!   ([`is_enabled`] is false — the default) a span site is one
+//!   thread-local boolean load and the guard is a no-op; nothing about a
+//!   run's outputs can change. Enabled spans only read the wall clock —
+//!   they never touch simulation state, so outputs stay byte-identical
+//!   with tracing on; only the (explicitly wall-clock) profile differs.
+//! * **Deterministic aggregation.** Per-thread [`SpanReport`]s merge via
+//!   [`SpanReport::absorb`] in caller-chosen (chunk) order, mirroring
+//!   [`Registry::absorb`](crate::obs::Registry::absorb); stats are keyed
+//!   and sorted by span name.
+//!
+//! Two consumers sit on top:
+//!
+//! * [`SpanReport::profile`] summarizes into a [`RunProfile`] (top spans
+//!   by self time, with p50/p90/p99 from the log2 histogram) that
+//!   `bench::RunGuard` embeds in every run manifest.
+//! * [`write_chrome_trace`] exports the raw begin/end events as Chrome
+//!   `trace_event` JSON, viewable in Perfetto / `chrome://tracing`.
+//!   Events are recorded live in call order, so B/E pairs are properly
+//!   nested by construction. A per-root sampling knob
+//!   ([`SpanConfig::sample_every`]) keeps full campaigns cheap: the
+//!   sampling decision is made when a *root* span opens and inherited by
+//!   its whole subtree, so sampled traces stay balanced.
+
+use super::{HistoSnapshot, HISTO_BUCKETS};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::io;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cap on buffered trace events per thread (~48 MB worst case). Spans
+/// beyond the cap still aggregate into stats; only their trace events are
+/// dropped (and counted in [`SpanReport::dropped_events`]).
+const MAX_EVENTS_PER_THREAD: usize = 1 << 20;
+
+/// Nanoseconds since the process-wide trace anchor (first use).
+///
+/// All threads share one anchor so their events land on one Perfetto
+/// timeline.
+fn now_ns() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Stable per-thread id for trace events (assigned on first span).
+fn trace_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and thread-local collector
+// ---------------------------------------------------------------------------
+
+/// Span collection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanConfig {
+    /// Record begin/end [`TraceEvent`]s for Chrome trace export. Stats
+    /// aggregate regardless; this only controls the (memory-hungry) raw
+    /// event buffer.
+    pub trace: bool,
+    /// Trace every Nth root span's subtree (1 = every root). Ignored when
+    /// `trace` is false; 0 is treated as 1.
+    pub sample_every: u64,
+}
+
+impl Default for SpanConfig {
+    fn default() -> Self {
+        SpanConfig {
+            trace: false,
+            sample_every: 1,
+        }
+    }
+}
+
+impl SpanConfig {
+    /// Stats-only collection (no trace events).
+    pub fn stats() -> Self {
+        Self::default()
+    }
+
+    /// Stats plus trace events for every `sample_every`-th root span.
+    pub fn traced(sample_every: u64) -> Self {
+        SpanConfig {
+            trace: true,
+            sample_every: sample_every.max(1),
+        }
+    }
+}
+
+/// Per-span-name accumulator (a wall-clock analogue of [`Histo`], over
+/// self-time nanoseconds).
+///
+/// [`Histo`]: crate::obs::Histo
+#[derive(Debug, Clone)]
+struct StatAcc {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    /// Log2 buckets over per-call self-time (same encoding as
+    /// [`Histo`](crate::obs::Histo)).
+    buckets: Box<[u64; HISTO_BUCKETS]>,
+}
+
+impl StatAcc {
+    fn new() -> Self {
+        StatAcc {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: Box::new([0; HISTO_BUCKETS]),
+        }
+    }
+
+    fn record(&mut self, total_ns: u64, self_ns: u64) {
+        self.count += 1;
+        self.total_ns += total_ns;
+        self.self_ns += self_ns;
+        self.min_ns = self.min_ns.min(total_ns);
+        self.max_ns = self.max_ns.max(total_ns);
+        let idx = if self_ns == 0 {
+            0
+        } else {
+            64 - self_ns.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+    }
+
+    fn to_stats(&self, name: &str) -> SpanStats {
+        let filled = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let le = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                (le, c)
+            })
+            .collect();
+        SpanStats {
+            name: name.to_string(),
+            count: self.count,
+            total_ns: self.total_ns,
+            self_ns: self.self_ns,
+            min_ns: if self.count == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            self_histo: HistoSnapshot {
+                count: self.count,
+                sum: self.self_ns,
+                buckets: filled,
+            },
+        }
+    }
+
+    fn absorb(&mut self, s: &SpanStats) {
+        self.count += s.count;
+        self.total_ns += s.total_ns;
+        self.self_ns += s.self_ns;
+        if s.count > 0 {
+            self.min_ns = self.min_ns.min(s.min_ns);
+            self.max_ns = self.max_ns.max(s.max_ns);
+        }
+        for &(le, c) in &s.self_histo.buckets {
+            let idx = if le == 0 {
+                0
+            } else {
+                64 - le.leading_zeros() as usize
+            };
+            self.buckets[idx] += c;
+        }
+    }
+}
+
+/// One open span on the thread-local stack.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Index into the collector's `names` / `stats` tables.
+    idx: usize,
+    start_ns: u64,
+    /// Total duration of already-closed children (subtracted from this
+    /// frame's duration to get self time).
+    child_ns: u64,
+    /// Whether this frame emits trace events (root sampling decision,
+    /// inherited by children).
+    traced: bool,
+}
+
+#[derive(Debug)]
+struct Collector {
+    cfg: SpanConfig,
+    /// Root spans opened so far (drives `sample_every`).
+    roots: u64,
+    names: Vec<&'static str>,
+    stats: Vec<StatAcc>,
+    stack: Vec<Frame>,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+    tid: u64,
+}
+
+impl Collector {
+    fn new(cfg: SpanConfig) -> Self {
+        Collector {
+            cfg,
+            roots: 0,
+            names: Vec::new(),
+            stats: Vec::new(),
+            stack: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+            tid: trace_tid(),
+        }
+    }
+
+    fn name_idx(&mut self, name: &'static str) -> usize {
+        // Linear scan: span sites use a handful of static names, and the
+        // common case hits within the first few entries.
+        match self.names.iter().position(|&n| n == name) {
+            Some(i) => i,
+            None => {
+                self.names.push(name);
+                self.stats.push(StatAcc::new());
+                self.names.len() - 1
+            }
+        }
+    }
+
+    fn push(&mut self, name: &'static str, sim_s: Option<f64>) {
+        let idx = self.name_idx(name);
+        let traced = if let Some(parent) = self.stack.last() {
+            parent.traced
+        } else {
+            let n = self.roots;
+            self.roots += 1;
+            self.cfg.trace && n.is_multiple_of(self.cfg.sample_every.max(1))
+        };
+        // The B/E decision is made once, here: if the begin event fits,
+        // the matching end event is always recorded too (the frame keeps
+        // `traced = true`), so exports stay balanced even at the cap.
+        let traced = if traced {
+            if self.events.len() < MAX_EVENTS_PER_THREAD {
+                true
+            } else {
+                self.dropped_events += 1;
+                false
+            }
+        } else {
+            false
+        };
+        let start_ns = now_ns();
+        if traced {
+            self.events.push(TraceEvent {
+                name,
+                begin: true,
+                ts_ns: start_ns,
+                tid: self.tid,
+                sim_s,
+            });
+        }
+        self.stack.push(Frame {
+            idx,
+            start_ns,
+            child_ns: 0,
+            traced,
+        });
+    }
+
+    fn pop(&mut self) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let end_ns = now_ns();
+        let total = end_ns.saturating_sub(frame.start_ns);
+        let self_ns = total.saturating_sub(frame.child_ns);
+        self.stats[frame.idx].record(total, self_ns);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += total;
+        }
+        if frame.traced {
+            self.events.push(TraceEvent {
+                name: self.names[frame.idx],
+                begin: false,
+                ts_ns: end_ns,
+                tid: self.tid,
+                sim_s: None,
+            });
+        }
+    }
+
+    fn report(&self) -> SpanReport {
+        let mut stats: Vec<SpanStats> = self
+            .names
+            .iter()
+            .zip(&self.stats)
+            .filter(|(_, acc)| acc.count > 0)
+            .map(|(name, acc)| acc.to_stats(name))
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        SpanReport {
+            stats,
+            events: self.events.clone(),
+            dropped_events: self.dropped_events,
+        }
+    }
+
+    fn absorb(&mut self, report: &SpanReport) {
+        for s in &report.stats {
+            let idx = match self.names.iter().position(|&n| n == s.name) {
+                Some(i) => i,
+                None => {
+                    self.names.push(leak_name(&s.name));
+                    self.stats.push(StatAcc::new());
+                    self.names.len() - 1
+                }
+            };
+            self.stats[idx].absorb(s);
+        }
+        self.events.extend(report.events.iter().cloned());
+        self.dropped_events += report.dropped_events;
+    }
+}
+
+/// Intern a dynamic span name to `&'static str`.
+///
+/// Span names are a small closed set of static literals; a worker report
+/// can only contain names that some thread entered via [`enter`], so the
+/// interned set is bounded by the number of distinct span sites in the
+/// binary. Names are cached process-wide so repeated absorbs never grow
+/// memory.
+fn leak_name(name: &str) -> &'static str {
+    use std::sync::Mutex;
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut set = INTERNED.lock().expect("name intern poisoned");
+    if let Some(&n) = set.iter().find(|&&n| n == name) {
+        return n;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.push(leaked);
+    leaked
+}
+
+thread_local! {
+    /// Fast-path flag mirroring `COLLECTOR.is_some()`: a disabled span
+    /// site costs one thread-local boolean load.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Enable span collection on this thread with `cfg`, replacing any
+/// previous collector (its data is discarded — use [`disable`] first to
+/// keep it).
+pub fn enable(cfg: SpanConfig) {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::new(cfg)));
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Disable span collection on this thread, returning everything collected
+/// since [`enable`]. Returns an empty report when collection was off.
+pub fn disable() -> SpanReport {
+    ACTIVE.with(|a| a.set(false));
+    COLLECTOR.with(|c| {
+        c.borrow_mut()
+            .take()
+            .map(|col| col.report())
+            .unwrap_or_default()
+    })
+}
+
+/// True when span collection is enabled on this thread.
+pub fn is_enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// The active [`SpanConfig`], if collection is enabled on this thread.
+///
+/// Parallel sweeps capture this on the coordinator and re-[`enable`] the
+/// same configuration inside each worker (via [`scoped`]), then absorb
+/// the workers' reports — the span analogue of snapshot absorption.
+pub fn active_config() -> Option<SpanConfig> {
+    COLLECTOR.with(|c| c.borrow().as_ref().map(|col| col.cfg))
+}
+
+/// Run `f` with span collection enabled under `cfg`, restoring the
+/// previous collector state afterwards; returns `f`'s result and the
+/// spans collected during the call.
+pub fn scoped<T>(cfg: SpanConfig, f: impl FnOnce() -> T) -> (T, SpanReport) {
+    let prev = COLLECTOR.with(|c| c.borrow_mut().replace(Collector::new(cfg)));
+    let was_active = ACTIVE.with(|a| a.replace(true));
+    let out = f();
+    let col = COLLECTOR.with(|c| std::mem::replace(&mut *c.borrow_mut(), prev));
+    ACTIVE.with(|a| a.set(was_active));
+    let report = col.map(|c| c.report()).unwrap_or_default();
+    (out, report)
+}
+
+/// Merge a worker's [`SpanReport`] into this thread's active collector.
+/// No-op when collection is disabled. Callers absorb in deterministic
+/// (chunk) order, like [`Registry::absorb`](crate::obs::Registry::absorb).
+pub fn absorb(report: &SpanReport) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.absorb(report);
+        }
+    });
+}
+
+/// Open a span named `name`; the span closes when the returned guard
+/// drops. Guards must drop in reverse open order — RAII scoping gives
+/// this for free.
+#[must_use = "a span closes when its guard drops; bind it to a variable"]
+pub fn enter(name: &'static str) -> SpanGuard {
+    enter_inner(name, None)
+}
+
+/// [`enter`], additionally stamping the begin event with the simulation
+/// time `t` (shown as `sim_s` in the Chrome trace).
+#[must_use = "a span closes when its guard drops; bind it to a variable"]
+pub fn enter_at(name: &'static str, t: Time) -> SpanGuard {
+    enter_inner(name, Some(t.as_secs_f64()))
+}
+
+fn enter_inner(name: &'static str, sim_s: Option<f64>) -> SpanGuard {
+    let armed = is_enabled();
+    if armed {
+        COLLECTOR.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                col.push(name, sim_s);
+            }
+        });
+    }
+    SpanGuard {
+        armed,
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII guard closing a span on drop. `!Send` by construction (the span
+/// stack is thread-local).
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            COLLECTOR.with(|c| {
+                if let Some(col) = c.borrow_mut().as_mut() {
+                    col.pop();
+                }
+            });
+        }
+    }
+}
+
+/// Open a span for the rest of the enclosing scope:
+/// `span!("phy.epoch_rebuild");` or `span!("mac.run_until", at: t);`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _span_guard = $crate::obs::span::enter($name);
+    };
+    ($name:expr, at: $t:expr) => {
+        let _span_guard = $crate::obs::span::enter_at($name, $t);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Reports, profiles, Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Span name (`"phy.epoch_rebuild"`, ...).
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds inside the span (children included).
+    pub total_ns: u64,
+    /// Nanoseconds attributed to the span itself (children excluded).
+    pub self_ns: u64,
+    /// Shortest single call (total time), 0 when `count == 0`.
+    pub min_ns: u64,
+    /// Longest single call (total time).
+    pub max_ns: u64,
+    /// Log2 histogram over per-call *self* time (for quantiles).
+    pub self_histo: HistoSnapshot,
+}
+
+/// Everything one collector gathered: per-name stats plus (when tracing)
+/// the raw begin/end event stream.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// Per-span-name statistics, sorted by name.
+    pub stats: Vec<SpanStats>,
+    /// Raw trace events in record order (empty unless
+    /// [`SpanConfig::trace`]).
+    pub events: Vec<TraceEvent>,
+    /// Trace events dropped at the per-thread buffer cap.
+    pub dropped_events: u64,
+}
+
+impl SpanReport {
+    /// Merge `other` into `self`: stats add by name (result stays
+    /// name-sorted), events append, drop counts add.
+    pub fn absorb(&mut self, other: &SpanReport) {
+        for s in &other.stats {
+            match self.stats.binary_search_by(|x| x.name.cmp(&s.name)) {
+                Ok(i) => {
+                    let mut acc = StatAcc::new();
+                    acc.absorb(&self.stats[i]);
+                    acc.absorb(s);
+                    self.stats[i] = acc.to_stats(&s.name);
+                }
+                Err(i) => self.stats.insert(i, s.clone()),
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.dropped_events += other.dropped_events;
+    }
+
+    /// Stats for span `name`, if it was ever entered.
+    pub fn get(&self, name: &str) -> Option<&SpanStats> {
+        self.stats.iter().find(|s| s.name == name)
+    }
+
+    /// Summarize into a [`RunProfile`]: up to `top` spans by self time
+    /// (descending), with p50/p90/p99 self-time quantiles.
+    pub fn profile(&self, top: usize) -> RunProfile {
+        let mut spans: Vec<&SpanStats> = self.stats.iter().collect();
+        spans.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        RunProfile {
+            spans: spans
+                .into_iter()
+                .take(top)
+                .map(|s| SpanProfile {
+                    name: s.name.clone(),
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    self_ns: s.self_ns,
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                    p50_ns: s.self_histo.quantile(0.50).unwrap_or(0.0),
+                    p90_ns: s.self_histo.quantile(0.90).unwrap_or(0.0),
+                    p99_ns: s.self_histo.quantile(0.99).unwrap_or(0.0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One raw begin/end trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// True for begin (`ph: "B"`), false for end (`ph: "E"`).
+    pub begin: bool,
+    /// Nanoseconds since the process trace anchor.
+    pub ts_ns: u64,
+    /// Trace thread id (stable per OS thread).
+    pub tid: u64,
+    /// Simulation time at span entry, when stamped via [`enter_at`].
+    pub sim_s: Option<f64>,
+}
+
+/// The profile section of a run manifest: top spans by self time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Per-span profile rows, self-time descending.
+    pub spans: Vec<SpanProfile>,
+}
+
+/// One row of a [`RunProfile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanProfile {
+    /// Span name.
+    pub name: String,
+    /// Times entered.
+    pub count: u64,
+    /// Total ns (children included).
+    pub total_ns: u64,
+    /// Self ns (children excluded).
+    pub self_ns: u64,
+    /// Shortest call, ns.
+    pub min_ns: u64,
+    /// Longest call, ns.
+    pub max_ns: u64,
+    /// Median per-call self time, ns (log2-bucket estimate).
+    pub p50_ns: f64,
+    /// 90th percentile per-call self time, ns.
+    pub p90_ns: f64,
+    /// 99th percentile per-call self time, ns.
+    pub p99_ns: f64,
+}
+
+/// Write `events` as Chrome `trace_event` JSON (the "JSON array format"
+/// with `B`/`E` duration events), loadable in Perfetto and
+/// `chrome://tracing`.
+///
+/// Events must be in record order per thread — which is how collectors
+/// produce them — so every `B` is closed by the next unmatched `E` on the
+/// same `tid` and the viewer nests them correctly.
+pub fn write_chrome_trace<W: io::Write>(events: &[TraceEvent], out: &mut W) -> io::Result<()> {
+    writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    for (i, ev) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        let ph = if ev.begin { "B" } else { "E" };
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        // Span names are static identifiers; {:?} escapes defensively.
+        let name = format!("{:?}", ev.name);
+        match ev.sim_s {
+            Some(sim_s) if ev.begin => writeln!(
+                out,
+                "{{\"name\":{name},\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":1,\
+                 \"tid\":{tid},\"args\":{{\"sim_s\":{sim_s}}}}}{comma}",
+                tid = ev.tid,
+            )?,
+            _ => writeln!(
+                out,
+                "{{\"name\":{name},\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":1,\
+                 \"tid\":{tid}}}{comma}",
+                tid = ev.tid,
+            )?,
+        }
+    }
+    writeln!(out, "]}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_ns(ns: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::black_box(0);
+        }
+    }
+
+    #[test]
+    fn disabled_spans_are_noops() {
+        assert!(!is_enabled());
+        let g = enter("outer");
+        assert!(!g.armed);
+        drop(g);
+        // disable() without enable() yields an empty report.
+        let rep = disable();
+        assert!(rep.stats.is_empty());
+        assert!(rep.events.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        let ((), rep) = scoped(SpanConfig::stats(), || {
+            let _outer = enter("outer");
+            spin_ns(200_000);
+            {
+                let _inner = enter("inner");
+                spin_ns(200_000);
+            }
+            spin_ns(100_000);
+        });
+        let outer = rep.get("outer").expect("outer recorded");
+        let inner = rep.get("inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Outer's total covers inner; outer's self time does not.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns,
+            "outer self {} vs total {} minus inner {}",
+            outer.self_ns,
+            outer.total_ns,
+            inner.total_ns
+        );
+        assert!(inner.self_ns >= 150_000, "inner self {}", inner.self_ns);
+        assert!(outer.min_ns <= outer.max_ns);
+        // Stats are name-sorted.
+        assert_eq!(rep.stats[0].name, "inner");
+        assert_eq!(rep.stats[1].name, "outer");
+    }
+
+    #[test]
+    fn trace_events_are_balanced_and_nested() {
+        let ((), rep) = scoped(SpanConfig::traced(1), || {
+            for _ in 0..3 {
+                let _a = enter_at("a", Time(1_500_000_000));
+                let _b = enter("b");
+            }
+        });
+        assert_eq!(rep.events.len(), 12); // 3 roots x (B a, B b, E b, E a)
+        let mut depth = 0i64;
+        let mut stack = Vec::new();
+        for ev in &rep.events {
+            if ev.begin {
+                depth += 1;
+                stack.push(ev.name);
+            } else {
+                depth -= 1;
+                assert_eq!(stack.pop(), Some(ev.name), "E matches innermost B");
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        // enter_at stamps sim time on the begin event only.
+        assert_eq!(rep.events[0].sim_s, Some(1.5));
+        assert_eq!(rep.events[1].sim_s, None);
+        // Guards must drop LIFO: b (declared later) closes before a.
+        assert_eq!(rep.events[2].name, "b");
+        assert!(!rep.events[2].begin);
+    }
+
+    #[test]
+    fn sampling_traces_every_nth_root_tree() {
+        let ((), rep) = scoped(SpanConfig::traced(3), || {
+            for _ in 0..7 {
+                let _root = enter("root");
+                let _child = enter("child");
+            }
+        });
+        // Roots 0, 3, 6 are traced, each contributing 4 events.
+        assert_eq!(rep.events.len(), 12);
+        // Stats still cover every call.
+        assert_eq!(rep.get("root").unwrap().count, 7);
+        assert_eq!(rep.get("child").unwrap().count, 7);
+        assert_eq!(rep.dropped_events, 0);
+    }
+
+    #[test]
+    fn stats_only_config_records_no_events() {
+        let ((), rep) = scoped(SpanConfig::stats(), || {
+            let _g = enter("x");
+        });
+        assert!(rep.events.is_empty());
+        assert_eq!(rep.get("x").unwrap().count, 1);
+    }
+
+    #[test]
+    fn scoped_restores_outer_collector() {
+        enable(SpanConfig::stats());
+        {
+            let _outer = enter("outer.before");
+        }
+        let ((), inner_rep) = scoped(SpanConfig::stats(), || {
+            let _g = enter("inner.only");
+        });
+        {
+            let _outer = enter("outer.after");
+        }
+        let outer_rep = disable();
+        assert!(inner_rep.get("inner.only").is_some());
+        assert!(inner_rep.get("outer.before").is_none());
+        assert!(outer_rep.get("outer.before").is_some());
+        assert!(outer_rep.get("outer.after").is_some());
+        assert!(outer_rep.get("inner.only").is_none());
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn absorb_merges_reports_by_name() {
+        let ((), rep_a) = scoped(SpanConfig::stats(), || {
+            for _ in 0..2 {
+                let _g = enter("shared");
+            }
+            let _g = enter("only_a");
+        });
+        let ((), rep_b) = scoped(SpanConfig::stats(), || {
+            let _g = enter("shared");
+        });
+        // Collector-level absorb (the sweep path).
+        enable(SpanConfig::stats());
+        absorb(&rep_a);
+        absorb(&rep_b);
+        let merged = disable();
+        assert_eq!(merged.get("shared").unwrap().count, 3);
+        assert_eq!(merged.get("only_a").unwrap().count, 1);
+        // Report-level absorb agrees.
+        let mut folded = SpanReport::default();
+        folded.absorb(&rep_a);
+        folded.absorb(&rep_b);
+        assert_eq!(folded.get("shared").unwrap().count, 3);
+        assert_eq!(folded.get("only_a").unwrap().count, 1);
+        let names: Vec<&str> = folded.stats.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["only_a", "shared"]);
+    }
+
+    #[test]
+    fn profile_ranks_by_self_time_with_quantiles() {
+        let ((), rep) = scoped(SpanConfig::stats(), || {
+            for _ in 0..4 {
+                let _fast = enter("fast");
+            }
+            let _slow = enter("slow");
+            spin_ns(500_000);
+        });
+        let profile = rep.profile(8);
+        assert_eq!(profile.spans[0].name, "slow");
+        let slow = &profile.spans[0];
+        assert!(slow.p50_ns > 0.0);
+        assert!(slow.p50_ns <= slow.p90_ns);
+        assert!(slow.p90_ns <= slow.p99_ns);
+        assert!(slow.p99_ns <= slow.max_ns as f64 * 2.0);
+        // top=1 truncates.
+        assert_eq!(rep.profile(1).spans.len(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_output_is_valid_json() {
+        let ((), rep) = scoped(SpanConfig::traced(1), || {
+            let _a = enter_at("outer", Time(2_000_000_000));
+            let _b = enter("inner \"quoted\"");
+        });
+        let mut buf = Vec::new();
+        write_chrome_trace(&rep.events, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let serde_json::Value::Arr(events) = parsed.get("traceEvents").expect("traceEvents") else {
+            panic!("traceEvents is not an array");
+        };
+        assert_eq!(events.len(), 4);
+        let as_str = |v: &serde_json::Value| match v {
+            serde_json::Value::Str(s) => s.clone(),
+            other => panic!("expected string, got {}", other.kind()),
+        };
+        let as_num = |v: &serde_json::Value| match v {
+            serde_json::Value::Num(n) => n.as_f64(),
+            other => panic!("expected number, got {}", other.kind()),
+        };
+        assert_eq!(as_str(events[0].get("ph").expect("ph")), "B");
+        let sim_s = events[0]
+            .get("args")
+            .and_then(|a| a.get("sim_s"))
+            .expect("sim_s");
+        assert_eq!(as_num(sim_s), 2.0);
+        assert_eq!(
+            as_str(events[1].get("name").expect("name")),
+            "inner \"quoted\""
+        );
+        assert_eq!(as_str(events[3].get("ph").expect("ph")), "E");
+        // Timestamps are monotonically non-decreasing microseconds.
+        let ts: Vec<f64> = events
+            .iter()
+            .map(|e| as_num(e.get("ts").expect("ts")))
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn event_cap_drops_whole_frames_and_counts_them() {
+        // A tiny cap is not reachable without const generics tricks, so
+        // exercise the cap logic by filling close to it cheaply: emit
+        // enough roots that the buffer would exceed the cap, using the
+        // real constant only in a ratio check to keep the test fast.
+        // Instead, verify the invariant structurally: traced push at cap
+        // marks the frame untraced, so B/E never go out of balance.
+        let ((), rep) = scoped(SpanConfig::traced(1), || {
+            for _ in 0..100 {
+                let _g = enter("r");
+            }
+        });
+        let b = rep.events.iter().filter(|e| e.begin).count();
+        let e = rep.events.iter().filter(|e| !e.begin).count();
+        assert_eq!(b, e);
+    }
+}

@@ -3,9 +3,50 @@
 use proptest::prelude::*;
 use simnet::grid::Grid;
 use simnet::noise::ValueNoise;
+use simnet::obs::{MetricsSnapshot, ObsEvent, ObsSink, Registry, RingSink};
 use simnet::stats::{linear_fit, Ecdf, RunningStats};
 use simnet::time::{Duration, Time};
 use simnet::{EventQueue, RngPool};
+
+/// A numbered event for exercising sinks.
+fn numbered_event(i: usize) -> ObsEvent {
+    ObsEvent {
+        t: Time::from_micros(i as u64),
+        component: "test".to_string(),
+        kind: format!("e{i}"),
+        fields: Vec::new(),
+    }
+}
+
+/// Replay a worker's instrument operations into a fresh registry and
+/// snapshot it — the exact shape `sweep::par_map_workers` folds back
+/// into the coordinator.
+fn worker_snapshot(ops: &[(u8, u64)]) -> MetricsSnapshot {
+    let r = Registry::new();
+    for &(which, v) in ops {
+        match which % 4 {
+            0 => r.counter("c.alpha").add(v),
+            1 => r.counter("c.beta").add(v % 7),
+            2 => r.histo("h.alpha").record(v),
+            _ => r.histo("h.beta").record(v % 1000),
+        }
+    }
+    r.snapshot()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from an LCG seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
 
 proptest! {
     /// The event queue pops events in non-decreasing time order, FIFO
@@ -161,5 +202,88 @@ proptest! {
         prop_assert!(s < l);
         let shifted = t + Duration::from_millis(10); // half mains cycle
         prop_assert_eq!(s, shifted.tonemap_slot(l));
+    }
+
+    /// The ring sink accounts for every event: `len + dropped == n` for
+    /// any capacity (including zero), and what it keeps are exactly the
+    /// newest `len` events in arrival order.
+    #[test]
+    fn ring_sink_drop_accounting(cap in 0usize..24, n in 0usize..120) {
+        let mut sink = RingSink::new(cap);
+        for i in 0..n {
+            sink.record(&numbered_event(i));
+        }
+        prop_assert_eq!(sink.len(), n.min(cap));
+        prop_assert_eq!(sink.is_empty(), n.min(cap) == 0);
+        prop_assert_eq!(sink.dropped(), n.saturating_sub(cap) as u64);
+        prop_assert_eq!(sink.len() as u64 + sink.dropped(), n as u64);
+        let first_kept = n - sink.len();
+        for (j, ev) in sink.events().enumerate() {
+            prop_assert_eq!(ev.kind.clone(), format!("e{}", first_kept + j));
+        }
+    }
+
+    /// `Registry::absorb` is order-insensitive for counters and
+    /// histograms: folding worker snapshots in any permutation yields
+    /// the same coordinator snapshot. (Gauges are deliberately
+    /// last-write-wins and excluded.)
+    #[test]
+    fn registry_absorb_order_insensitive(
+        workers in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..20),
+            0..6,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let snaps: Vec<MetricsSnapshot> =
+            workers.iter().map(|w| worker_snapshot(w)).collect();
+        let in_order = Registry::new();
+        for s in &snaps {
+            in_order.absorb(s);
+        }
+        let shuffled = Registry::new();
+        for &i in &permutation(snaps.len(), seed) {
+            shuffled.absorb(&snaps[i]);
+        }
+        let a = in_order.snapshot();
+        let b = shuffled.snapshot();
+        prop_assert_eq!(a.counters, b.counters);
+        prop_assert_eq!(a.histos, b.histos);
+    }
+
+    /// `Registry::absorb` is associative for counters and histograms:
+    /// pre-merging a group of worker snapshots through an intermediate
+    /// registry and absorbing its snapshot equals absorbing the workers
+    /// directly — so sweeps may fold in chunks of any shape.
+    #[test]
+    fn registry_absorb_associative(
+        workers in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..20),
+            1..6,
+        ),
+        split in 0usize..6,
+    ) {
+        let snaps: Vec<MetricsSnapshot> =
+            workers.iter().map(|w| worker_snapshot(w)).collect();
+        let split = split.min(snaps.len());
+        let flat = Registry::new();
+        for s in &snaps {
+            flat.absorb(s);
+        }
+        let left = Registry::new();
+        for s in &snaps[..split] {
+            left.absorb(s);
+        }
+        let right = Registry::new();
+        for s in &snaps[split..] {
+            right.absorb(s);
+        }
+        let grouped = Registry::new();
+        grouped.absorb(&left.snapshot());
+        grouped.absorb(&right.snapshot());
+        let a = flat.snapshot();
+        let b = grouped.snapshot();
+        prop_assert_eq!(a.counters, b.counters);
+        prop_assert_eq!(a.histos, b.histos);
     }
 }

@@ -23,6 +23,7 @@
 //! sequential because of a typo is exactly the misconfiguration the
 //! variable exists to prevent.
 
+use simnet::obs::span::{self, SpanReport};
 use simnet::obs::{self, MetricsSnapshot, Obs};
 
 /// Environment variable overriding the sweep worker count.
@@ -94,29 +95,40 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     if workers <= 1 || items.len() <= 1 {
-        // Sequential fast path: runs under the ambient Obs directly.
+        // Sequential fast path: runs under the ambient Obs directly
+        // (including the ambient span collector, if any).
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Span collection propagates like metrics do: workers re-enable the
+    // coordinator's configuration on their own thread, return the (Send)
+    // report, and the coordinator absorbs the reports in chunk order.
+    let span_cfg = span::active_config();
     let chunk_len = items.len().div_ceil(workers);
     let f = &f;
-    // Each worker returns (results, metrics) for one contiguous chunk;
-    // chunks are then concatenated and absorbed in index order, so the
-    // thread schedule cannot influence anything observable.
-    let per_chunk: Vec<(Vec<R>, MetricsSnapshot)> = std::thread::scope(|scope| {
+    // Each worker returns (results, metrics, spans) for one contiguous
+    // chunk; chunks are then concatenated and absorbed in index order, so
+    // the thread schedule cannot influence anything observable.
+    let per_chunk: Vec<(Vec<R>, MetricsSnapshot, SpanReport)> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
             .enumerate()
             .map(|(k, chunk)| {
                 scope.spawn(move || {
                     let obs = Obs::new();
-                    let results = obs::with_default(obs.clone(), || {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(j, t)| f(k * chunk_len + j, t))
-                            .collect::<Vec<R>>()
-                    });
-                    (results, obs.registry().snapshot())
+                    let work = || {
+                        obs::with_default(obs.clone(), || {
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(j, t)| f(k * chunk_len + j, t))
+                                .collect::<Vec<R>>()
+                        })
+                    };
+                    let (results, spans) = match span_cfg {
+                        Some(cfg) => span::scoped(cfg, work),
+                        None => (work(), SpanReport::default()),
+                    };
+                    (results, obs.registry().snapshot(), spans)
                 })
             })
             .collect();
@@ -127,8 +139,9 @@ where
     });
     let ambient = obs::current();
     let mut out = Vec::with_capacity(items.len());
-    for (results, snap) in per_chunk {
+    for (results, snap, spans) in per_chunk {
         ambient.registry().absorb(&snap);
+        span::absorb(&spans);
         out.extend(results);
     }
     out
@@ -160,6 +173,28 @@ mod tests {
         });
         let snap = obs.registry().snapshot();
         assert_eq!(snap.counter("sweep.work"), (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_spans_fold_into_ambient_collector() {
+        let ((), rep) = span::scoped(span::SpanConfig::stats(), || {
+            let items: Vec<u64> = (0..10).collect();
+            par_map_workers(&items, 4, |_, _| {
+                let _g = span::enter("sweep.item");
+            });
+        });
+        let stats = rep.get("sweep.item").expect("worker spans absorbed");
+        assert_eq!(stats.count, 10);
+    }
+
+    #[test]
+    fn sweeps_without_spans_collect_none() {
+        let items: Vec<u64> = (0..4).collect();
+        par_map_workers(&items, 2, |_, _| {
+            let _g = span::enter("sweep.ignored");
+        });
+        assert!(!span::is_enabled());
+        assert!(span::disable().stats.is_empty());
     }
 
     #[test]

@@ -14,20 +14,76 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
-echo "== campaign smoke (2 runs, validated + executed) =="
+echo "== campaign smoke (2 runs, telemetry + tracing on) =="
 cargo build --release -q -p electrifi-bench --bin campaign
 ./target/release/campaign scenarios/smoke-campaign.json --dry-run
-./target/release/campaign scenarios/smoke-campaign.json --workers 2 --out out/smoke-campaign
+# Fresh output dir: the follow stream appends (so a resumed campaign
+# keeps its history), which would otherwise accumulate across gate runs.
+rm -rf out/smoke-campaign
+./target/release/campaign scenarios/smoke-campaign.json --workers 2 \
+    --out out/smoke-campaign \
+    --progress out/smoke-campaign/progress.json --progress-every 0.05 \
+    --follow out/smoke-campaign/follow.jsonl \
+    --trace out/smoke-campaign/trace.json
+# The heartbeat must end fully accounted and the follow stream must
+# carry one parseable line per run.
+python3 - <<'PY'
+import json
+p = json.load(open("out/smoke-campaign/progress.json"))
+assert p["finished"], f"progress not finished: {p}"
+assert p["runs_done"] == p["runs_total"] > 0, f"inconsistent progress: {p}"
+assert p["runs_failed"] == 0, f"failed runs in smoke campaign: {p}"
+lines = [json.loads(l) for l in open("out/smoke-campaign/follow.jsonl")]
+assert len(lines) == p["runs_total"], \
+    f"{len(lines)} follow lines for {p['runs_total']} runs"
+assert sorted(c["index"] for c in lines) == list(range(p["runs_total"]))
+print(f"progress.json consistent: {p['runs_done']}/{p['runs_total']} runs, "
+      f"{p['heartbeats']} heartbeats; follow.jsonl: {len(lines)} lines")
+PY
 
 echo "== checkpoint/resume smoke (interrupted == uninterrupted) =="
 # Stop the same campaign after one run, resume it, and require the
-# resumed summary.json to be byte-identical to the straight-through one.
+# resumed summary.json to be byte-identical to the straight-through one
+# — which, since the straight-through run had telemetry and tracing on
+# and this one has them off, also proves observability is bit-inert.
 rm -rf out/smoke-ckpt
 ./target/release/campaign scenarios/smoke-campaign.json --workers 1 \
     --out out/smoke-ckpt --stop-after 1
 ./target/release/campaign scenarios/smoke-campaign.json --workers 1 \
     --out out/smoke-ckpt --resume out/smoke-ckpt
 cmp out/smoke-campaign/summary.json out/smoke-ckpt/summary.json
+
+echo "== trace smoke (fig16 Chrome trace: valid JSON, spans nest) =="
+cargo build --release -q -p electrifi-bench --bin fig16
+ELECTRIFI_SCALE=quick ELECTRIFI_TRACE=out/trace-smoke.json \
+    ./target/release/fig16 > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("out/trace-smoke.json"))
+events = doc["traceEvents"]
+assert events, "trace is empty"
+stacks = {}
+for ev in events:
+    assert ev["ph"] in ("B", "E"), f"unexpected phase: {ev}"
+    assert ev["ts"] >= 0 and ev["pid"] == 1
+    stack = stacks.setdefault(ev["tid"], [])
+    if ev["ph"] == "B":
+        stack.append(ev["name"])
+    else:
+        assert stack, f"E without matching B on tid {ev['tid']}: {ev}"
+        top = stack.pop()
+        assert top == ev["name"], \
+            f"mis-nested span: E {ev['name']} closes B {top}"
+for tid, stack in stacks.items():
+    assert not stack, f"unclosed spans on tid {tid}: {stack}"
+names = {e["name"] for e in events}
+print(f"trace OK: {len(events)} events, {len(stacks)} thread(s), "
+      f"{len(names)} distinct spans, all properly nested")
+# Tracing also fills the manifest's profile section.
+m = json.load(open("out/fig16.manifest.json"))
+assert m["profile"] is not None and m["profile"]["spans"], \
+    "traced run must carry a profile in its manifest"
+PY
 
 echo "== replay smoke (snapshot -> resume -> event-stream diff) =="
 cargo build --release -q -p electrifi-bench --bin replay

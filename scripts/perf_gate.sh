@@ -11,7 +11,11 @@
 #     (the zero-allocation property is the whole point);
 #   - mac_loop speedup below the 3x acceptance floor;
 #   - mac_loop / saturated speedup or idle-skip hit rate more than 20%
-#     below the committed baseline.
+#     below the committed baseline;
+#   - a digest mismatch between the span-traced and untraced optimized
+#     arms (observation must never perturb the simulation), or — full
+#     mode only — an enabled/disabled throughput ratio below 0.95
+#     (spans may cost at most 5% on the gated workload).
 #
 # Ratios (speedup, hit rate) are compared, not absolute steps/sec —
 # absolute throughput varies with the host; ratios are self-normalizing
@@ -74,6 +78,13 @@ for section in ("mac_loop", "saturated"):
     check(allocs == 0, f"{section}: optimized window performed {allocs} "
           "heap allocation(s); expected zero")
 
+# Bit-inertness of span tracing: the stats-mode arm must see the exact
+# observables the untraced arm saw. Gated in both modes — a digest is
+# stable even in a tiny smoke window.
+check(rep["span_overhead"]["digest_match"],
+      "span_overhead: digest mismatch — span tracing perturbed the "
+      "simulation")
+
 if mode == "smoke":
     print(f"perf_gate --smoke: digests match, optimized quiesced windows "
           f"allocation-free ({len(failures)} failure(s))")
@@ -101,6 +112,17 @@ print(f"{'idle':>12}: hit rate {cur:.2f} (baseline {ref:.2f})")
 
 fp = rep["full_profile"]["speedup"]
 print(f"{'full_profile':>12}: speedup {fp:.2f}x (reported, not gated)")
+
+# Span hot-path budget: stats-mode spans may cost at most 5% of the
+# gated workload's throughput. Ratio of two same-host arms, so it is
+# self-normalizing like the speedups above.
+SPAN_BUDGET = 0.95
+ratio = rep["span_overhead"]["ratio"]
+check(ratio >= SPAN_BUDGET,
+      f"span_overhead: enabled/disabled ratio {ratio:.3f} below the "
+      f"{SPAN_BUDGET:.2f} budget (spans cost more than 5%)")
+print(f"{'spans':>12}: enabled/disabled ratio {ratio:.3f} "
+      f"(budget {SPAN_BUDGET:.2f})")
 
 # Absolute throughput is host-dependent: warn by default, gate only on
 # request (e.g. pinned CI hardware).

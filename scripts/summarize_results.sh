@@ -44,6 +44,18 @@ for path in sorted(glob.glob("out/*.manifest.json")):
         + (f"  top: {top}" if top else "")
         + (f"  checkpoint: {ckpt}" if ckpt else "")
     )
+    # Runs executed with ELECTRIFI_TRACE/ELECTRIFI_PROFILE carry a span
+    # profile; untraced runs have profile = null.
+    prof = m.get("profile")
+    if prof and prof.get("spans"):
+        print(f"{'':>12}{'top spans by self-time':<26}{'count':>9}"
+              f"{'self_ms':>10}{'total_ms':>10}"
+              f"{'p50_us':>9}{'p90_us':>9}{'p99_us':>9}")
+        for s in prof["spans"][:8]:
+            print(f"{'':>12}{s['name']:<26}{s['count']:>9}"
+                  f"{s['self_ns'] / 1e6:>10.2f}{s['total_ns'] / 1e6:>10.2f}"
+                  f"{s['p50_ns'] / 1e3:>9.1f}{s['p90_ns'] / 1e3:>9.1f}"
+                  f"{s['p99_ns'] / 1e3:>9.1f}")
 PY
 else
   echo "== manifests ==  (none found under out/)"
@@ -117,6 +129,24 @@ if idle:
         f"  ({idle['idle_skips']} skips / {idle['idle_rescans']} rescans)"
         f"  digest_match={idle['digest_match']}"
     )
+so = b.get("span_overhead")
+if so:
+    print(
+        f"{'spans':>14}: enabled/disabled ratio {so['ratio']:.3f}"
+        f"  ({so['disabled_steps_per_sec']:,.0f} ->"
+        f" {so['enabled_steps_per_sec']:,.0f} steps/s)"
+        f"  digest_match={so['digest_match']}"
+    )
+    spans = so.get("spans", {}).get("spans", [])
+    if spans:
+        print(f"{'':>16}{'top spans by self-time':<26}{'count':>9}"
+              f"{'self_ms':>10}{'total_ms':>10}"
+              f"{'p50_us':>9}{'p90_us':>9}{'p99_us':>9}")
+        for s in spans[:8]:
+            print(f"{'':>16}{s['name']:<26}{s['count']:>9}"
+                  f"{s['self_ns'] / 1e6:>10.2f}{s['total_ns'] / 1e6:>10.2f}"
+                  f"{s['p50_ns'] / 1e3:>9.1f}{s['p90_ns'] / 1e3:>9.1f}"
+                  f"{s['p99_ns'] / 1e3:>9.1f}")
 PY
 fi
 
