@@ -1,18 +1,87 @@
-//! Channel-spectrum performance smoke bench.
+//! `bench_channel` — perf-regression harness for the PLC spectrum
+//! pipeline.
 //!
-//! Times the uncached reference evaluator against the cached hot path on
-//! the most-tapped link of the paper floor and writes
-//! `out/BENCH_channel.json` — seed, link, wall-clock per path, speedup
-//! and the epoch-cache hit rate — so the perf trajectory of the spectrum
-//! pipeline is tracked alongside the figure manifests.
+//! Exercises the most-tapped link of the paper floor (the worst case
+//! for the per-carrier kernels) and reports to `out/BENCH_channel.json`:
+//!
+//! * **cold_eval** — the uncached reference evaluator, per-eval µs;
+//! * **warm** — the cached hot path on an epoch-stable window: per-call
+//!   µs, the epoch-hit and analytic key-skip rates, and **heap
+//!   allocations per call** measured by the [`allocprobe`] counting
+//!   global allocator (the gate requires exactly zero);
+//! * **cold_rebuild_us** — the gated number: wall µs per full epoch
+//!   rebuild, measured by alternating between two appliance epochs so
+//!   *every* call rebuilds (best-of reps);
+//! * a **digest match** between cached and reference spectra over a
+//!   tour of times, phases and directions — a perf win can never
+//!   silently change results.
+//!
+//! `scripts/perf_gate.sh` compares this output against the checked-in
+//! baseline in `scripts/baselines/BENCH_channel.baseline.json`.
+//!
+//! Environment:
+//! * `ELECTRIFI_BENCH_ITERS` — warm-loop iterations (default 2000).
+//! * `ELECTRIFI_BENCH_SMOKE=1` — tiny loops, for CI smoke runs
+//!   (timings meaningless; invariants still checked).
 
 use electrifi::experiments::PAPER_SEED;
 use electrifi::PaperEnv;
-use plc_phy::channel::PlcChannel;
+use plc_phy::channel::{LinkDir, PlcChannel};
 use plc_phy::SnrSpectrum;
 use serde::Serialize;
 use simnet::obs::{self, Obs};
 use simnet::time::{Duration, Time};
+
+#[global_allocator]
+static ALLOC: allocprobe::CountingAlloc = allocprobe::CountingAlloc::new();
+
+/// FNV-1a fold over 64-bit words.
+fn mix(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// The uncached-evaluator arm.
+#[derive(Debug, Clone, Serialize)]
+struct ColdEval {
+    iters: u64,
+    total_s: f64,
+    per_eval_us: f64,
+}
+
+/// The cached hot path on an epoch-stable window.
+#[derive(Debug, Clone, Serialize)]
+struct Warm {
+    iters: u64,
+    total_s: f64,
+    per_call_us: f64,
+    /// Heap allocations (allocs + reallocs) per call in the timed
+    /// window. Gated to exactly zero.
+    allocs_per_call: f64,
+    epoch_hits: u64,
+    epoch_rebuilds: u64,
+    /// Calls served inside the analytic validity window (no schedule
+    /// scanned at all).
+    key_skips: u64,
+    /// Calls that re-derived the epoch key.
+    key_rescans: u64,
+    cache_hit_rate: f64,
+    key_skip_rate: f64,
+}
+
+/// The gated epoch-rebuild arm: every call flips the appliance epoch.
+#[derive(Debug, Clone, Serialize)]
+struct ColdRebuild {
+    iters: u64,
+    reps: u64,
+    best_total_s: f64,
+    /// Wall µs per call in the all-rebuilds regime (best rep).
+    cold_rebuild_us: f64,
+    /// Epoch rebuilds observed across all reps — must equal
+    /// `iters · reps` (every call really rebuilt).
+    rebuilds: u64,
+    allocs_per_rebuild: f64,
+}
 
 /// What `out/BENCH_channel.json` records.
 #[derive(Debug, Serialize)]
@@ -21,13 +90,18 @@ struct ChannelBenchReport {
     link: (u16, u16),
     taps: usize,
     carriers: usize,
-    iters: u64,
-    cold_s: f64,
-    warm_s: f64,
+    smoke: bool,
+    cold_eval: ColdEval,
+    warm: Warm,
+    cold_rebuild: ColdRebuild,
+    /// Top-level copy of the gated number.
+    cold_rebuild_us: f64,
+    /// cold per-eval over warm per-call.
     speedup: f64,
-    epoch_hits: u64,
-    epoch_rebuilds: u64,
     cache_hit_rate: f64,
+    /// Cached and reference spectra agree bitwise over the tour.
+    digest_match: bool,
+    digest: String,
 }
 
 fn timed(iters: u64, mut f: impl FnMut(u64)) -> f64 {
@@ -38,14 +112,50 @@ fn timed(iters: u64, mut f: impl FnMut(u64)) -> f64 {
     t0.elapsed().as_secs_f64()
 }
 
+/// Two instants in different appliance epochs of `ch`, found by probing
+/// the rebuild counter over candidate hour pairs (weekday work hours vs
+/// late evening flips office schedules and building lights).
+fn epoch_flip_pair(env: &PaperEnv, a: u16, b: u16, dir: LinkDir) -> (Time, Time) {
+    let candidates = [
+        (3 * 24 + 10, 3 * 24 + 23),
+        (3 * 24 + 14, 3 * 24 + 2),
+        (24 + 9, 24 + 22),
+        (10, 5 * 24 + 10),
+    ];
+    for (h1, h2) in candidates {
+        let (t1, t2) = (Time::from_hours(h1), Time::from_hours(h2));
+        let obs = Obs::new();
+        let rebuilds = obs::with_default(obs.clone(), || {
+            let ch: PlcChannel = env.plc_channel(a, b);
+            let mut buf = SnrSpectrum::empty();
+            for k in 0..4u64 {
+                let t = if k % 2 == 0 { t1 } else { t2 };
+                ch.spectrum_at_phase_into(dir, t, 0.25, &mut buf);
+            }
+            obs.registry()
+                .snapshot()
+                .counter("plc.phy.spectrum.epoch_rebuilds")
+        });
+        if rebuilds == 4 {
+            return (t1, t2);
+        }
+    }
+    panic!("no candidate hour pair flips the epoch of link ({a},{b})");
+}
+
 fn main() {
-    let iters: u64 = std::env::var("ELECTRIFI_BENCH_ITERS")
+    let smoke = std::env::var("ELECTRIFI_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let warm_iters: u64 = std::env::var("ELECTRIFI_BENCH_ITERS")
         .ok()
         .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(2000);
+        .unwrap_or(if smoke { 200 } else { 2000 });
+    let cold_iters: u64 = if smoke { 10 } else { 300 };
+    let rebuild_iters: u64 = if smoke { 40 } else { 400 };
+    let rebuild_reps: u64 = if smoke { 2 } else { 5 };
+
     let env = PaperEnv::new(PAPER_SEED);
-    // The most-tapped same-network link: the worst case for the uncached
-    // evaluator (cost grows with carriers × echoes).
+    // The most-tapped same-network link: the worst case for the spectrum
+    // pipeline (cost grows with carriers × echo groups).
     let (a, b, ch) = env
         .plc_pairs()
         .into_iter()
@@ -60,38 +170,144 @@ fn main() {
     let base = Time::from_hours(10);
     let at = |k: u64| base + Duration::from_millis(k % 1000);
 
-    let cold_s = timed(iters, |k| {
+    // --- Cold arm: the uncached reference evaluator.
+    let cold_total_s = timed(cold_iters, |k| {
         std::hint::black_box(ch.spectrum_at_phase_reference(dir, at(k), 0.25));
     });
+    let cold_eval = ColdEval {
+        iters: cold_iters,
+        total_s: cold_total_s,
+        per_eval_us: cold_total_s / cold_iters as f64 * 1e6,
+    };
 
-    // Fresh channel (cold cache) under a fresh registry so the hit-rate
-    // counters cover exactly the timed loop.
-    let obs = Obs::new();
-    let (warm_s, carriers) = obs::with_default(obs.clone(), || {
+    // --- Warm arm: fresh channel (cold cache) under a fresh registry so
+    // the counters cover exactly the timed loop; allocprobe brackets it
+    // to prove the steady state never touches the heap.
+    let obs_warm = Obs::new();
+    let (warm_total_s, carriers, alloc_delta) = obs::with_default(obs_warm.clone(), || {
         let ch2: PlcChannel = env.plc_channel(a, b);
         let mut buf = SnrSpectrum::empty();
-        let warm_s = timed(iters, |k| {
+        // One warmup call sizes every scratch buffer and registers the
+        // metrics; the timed window must then be allocation-free.
+        ch2.spectrum_at_phase_into(dir, at(0), 0.25, &mut buf);
+        let before = ALLOC.snapshot();
+        let warm_total_s = timed(warm_iters, |k| {
             ch2.spectrum_at_phase_into(dir, at(k), 0.25, &mut buf);
             std::hint::black_box(buf.snr_db[0]);
         });
-        (warm_s, buf.snr_db.len())
+        let delta = before.delta(&ALLOC.snapshot());
+        (warm_total_s, buf.snr_db.len(), delta)
     });
-    let snap = obs.registry().snapshot();
+    let snap = obs_warm.registry().snapshot();
     let epoch_hits = snap.counter("plc.phy.spectrum.epoch_hits");
     let epoch_rebuilds = snap.counter("plc.phy.spectrum.epoch_rebuilds");
+    let key_skips = snap.counter("plc.phy.spectrum.key_skips");
+    let key_rescans = snap.counter("plc.phy.spectrum.key_rescans");
+    let allocs_per_call = alloc_delta.events() as f64 / warm_iters as f64;
+    assert_eq!(
+        alloc_delta.events(),
+        0,
+        "warm spectrum_at_phase_into allocated: {alloc_delta:?}"
+    );
+    let warm = Warm {
+        iters: warm_iters,
+        total_s: warm_total_s,
+        per_call_us: warm_total_s / warm_iters as f64 * 1e6,
+        allocs_per_call,
+        epoch_hits,
+        epoch_rebuilds,
+        key_skips,
+        key_rescans,
+        cache_hit_rate: epoch_hits as f64 / (epoch_hits + epoch_rebuilds).max(1) as f64,
+        key_skip_rate: key_skips as f64 / (key_skips + key_rescans).max(1) as f64,
+    };
+
+    // --- Rebuild arm: alternate between two appliance epochs so every
+    // call takes the full rebuild path. Best-of reps tames scheduler
+    // noise; the counter check proves the regime is what it claims.
+    let (t1, t2) = epoch_flip_pair(&env, a, b, dir);
+    let obs_rb = Obs::new();
+    let (best_total_s, rebuild_allocs) = obs::with_default(obs_rb.clone(), || {
+        let ch3: PlcChannel = env.plc_channel(a, b);
+        let mut buf = SnrSpectrum::empty();
+        // Warm both epochs' scratch sizes once.
+        ch3.spectrum_at_phase_into(dir, t1, 0.25, &mut buf);
+        ch3.spectrum_at_phase_into(dir, t2, 0.25, &mut buf);
+        let before = ALLOC.snapshot();
+        let mut best = f64::INFINITY;
+        for _ in 0..rebuild_reps {
+            let total = timed(rebuild_iters, |k| {
+                let t = if k % 2 == 0 { t1 } else { t2 };
+                ch3.spectrum_at_phase_into(dir, t, 0.25, &mut buf);
+                std::hint::black_box(buf.snr_db[0]);
+            });
+            best = best.min(total);
+        }
+        (best, before.delta(&ALLOC.snapshot()))
+    });
+    let rebuilds = obs_rb
+        .registry()
+        .snapshot()
+        .counter("plc.phy.spectrum.epoch_rebuilds")
+        // The two scratch-warming calls rebuild too.
+        .saturating_sub(2);
+    assert_eq!(
+        rebuilds,
+        rebuild_iters * rebuild_reps,
+        "rebuild arm did not rebuild every call"
+    );
+    let cold_rebuild = ColdRebuild {
+        iters: rebuild_iters,
+        reps: rebuild_reps,
+        best_total_s,
+        cold_rebuild_us: best_total_s / rebuild_iters as f64 * 1e6,
+        rebuilds,
+        allocs_per_rebuild: rebuild_allocs.events() as f64 / (rebuild_iters * rebuild_reps) as f64,
+    };
+
+    // --- Digest tour: cached vs reference over times, phases and both
+    // directions, on a fresh channel each so the cache starts cold.
+    let hours: &[u64] = if smoke {
+        &[2, 11, 23]
+    } else {
+        &[2, 7, 11, 14, 19, 23, 30, 38, 47]
+    };
+    let mut digest_cached = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest_ref = 0xcbf2_9ce4_8422_2325u64;
+    let ch4: PlcChannel = env.plc_channel(a, b);
+    let mut buf = SnrSpectrum::empty();
+    for d in [dir, dir.reverse()] {
+        for &h in hours {
+            for phase in [0.25, 0.75] {
+                let t = Time::from_hours(h);
+                ch4.spectrum_at_phase_into(d, t, phase, &mut buf);
+                for v in &buf.snr_db {
+                    mix(&mut digest_cached, v.to_bits());
+                }
+                let reference = ch4.spectrum_at_phase_reference(d, t, phase);
+                for v in &reference.snr_db {
+                    mix(&mut digest_ref, v.to_bits());
+                }
+            }
+        }
+    }
+    let digest_match = digest_cached == digest_ref;
+    assert!(digest_match, "cached and reference spectra diverged");
 
     let report = ChannelBenchReport {
         seed: PAPER_SEED,
         link: (a, b),
         taps: ch.tap_count(),
         carriers,
-        iters,
-        cold_s,
-        warm_s,
-        speedup: cold_s / warm_s.max(1e-12),
-        epoch_hits,
-        epoch_rebuilds,
-        cache_hit_rate: epoch_hits as f64 / (epoch_hits + epoch_rebuilds).max(1) as f64,
+        smoke,
+        speedup: cold_eval.per_eval_us / warm.per_call_us.max(1e-9),
+        cache_hit_rate: warm.cache_hit_rate,
+        cold_rebuild_us: cold_rebuild.cold_rebuild_us,
+        cold_eval,
+        warm,
+        cold_rebuild,
+        digest_match,
+        digest: format!("{digest_cached:016x}"),
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     let _ = std::fs::create_dir_all("out");

@@ -1,0 +1,54 @@
+//! Golden pin of the paper floor's worst-case (fig3) link spectrum.
+//!
+//! The PHY kernels define the model's numeric ground truth (see
+//! DESIGN.md §11): any change to them — lane width, polynomial degree,
+//! association order — shifts every SNR bit downstream. The relative
+//! checks (cached vs reference) would still pass after such a change,
+//! so this test pins the *absolute* bits of the most-tapped paper-floor
+//! link over a deterministic tour of times, phases and directions. An
+//! intentional kernel change updates the constant; an accidental one
+//! fails here first.
+
+use electrifi::experiments::PAPER_SEED;
+use electrifi::PaperEnv;
+
+/// FNV-1a fold, the digest idiom the benches use.
+fn mix(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// The digest of the tour below, as currently produced by the kernels.
+const FIG3_SNR_DIGEST: u64 = 0xd1ef_56f7_0ee3_0840;
+
+#[test]
+fn fig3_link_snr_digest_is_pinned() {
+    let env = PaperEnv::new(PAPER_SEED);
+    let (a, b, ch) = env
+        .plc_pairs()
+        .into_iter()
+        .filter(|(a, b)| a < b)
+        .map(|(a, b)| (a, b, env.plc_channel(a, b)))
+        .max_by_key(|(_, _, ch)| ch.tap_count())
+        .expect("paper floor has PLC pairs");
+    let dir = PaperEnv::dir(a, b);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    mix(&mut h, a as u64);
+    mix(&mut h, b as u64);
+    for d in [dir, dir.reverse()] {
+        for hour in [1u64, 9, 14, 21, 33] {
+            for phase in [0.1, 0.6] {
+                let spec = ch.spectrum_at_phase(d, simnet::time::Time::from_hours(hour), phase);
+                for v in &spec.snr_db {
+                    mix(&mut h, v.to_bits());
+                }
+            }
+        }
+    }
+    assert_eq!(
+        h, FIG3_SNR_DIGEST,
+        "fig3 link SNR digest changed: 0x{h:016x}. If the kernel change \
+         was intentional, update FIG3_SNR_DIGEST (and expect the BENCH \
+         baselines to move)."
+    );
+}

@@ -123,6 +123,18 @@ impl CarrierPlan {
         &self.freqs_mhz
     }
 
+    /// Carrier pitch in MHz. The plan is built on a uniform grid
+    /// (`new` spreads carriers evenly over the band), so the pitch is
+    /// derived from the end points instead of being stored; callers use
+    /// it to drive phase recurrences `θ_i = θ_0 + i·dθ` over the grid.
+    pub fn spacing_mhz(&self) -> f64 {
+        let n = self.freqs_mhz.len();
+        if n < 2 {
+            return 0.0;
+        }
+        (self.freqs_mhz[n - 1] - self.freqs_mhz[0]) / (n - 1) as f64
+    }
+
     /// `√f` of carrier `i` (frequency in MHz). The cable attenuation
     /// model is `alpha · √f · length`, so channel-side caches build their
     /// per-carrier attenuation prefixes from this.
@@ -174,6 +186,22 @@ mod tests {
             PlcTechnology::HpAv.max_modulation(),
             crate::modulation::Modulation::Qam1024
         );
+    }
+
+    #[test]
+    fn spacing_matches_the_band_partition() {
+        for tech in [PlcTechnology::HpAv, PlcTechnology::HpAv500] {
+            let plan = tech.carrier_plan();
+            let expect = (tech.band_end_mhz() - tech.band_start_mhz()) / plan.len() as f64;
+            let got = plan.spacing_mhz();
+            assert!((got - expect).abs() < 1e-9, "{tech:?}: {got} vs {expect}");
+            // The grid really is uniform to FP noise: every adjacent gap
+            // agrees with the derived pitch.
+            for i in 1..plan.len() {
+                let gap = plan.freq_mhz(i) - plan.freq_mhz(i - 1);
+                assert!((gap - got).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! one of the two stations" (paper §5).
 
 use crate::carrier::{CarrierPlan, PlcTechnology};
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use simnet::appliance::{ApplianceProfile, CABLE_Z0_OHMS};
 use simnet::grid::{Grid, NodeId, NodeKind};
@@ -208,20 +209,32 @@ impl SnrSpectrum {
     }
 }
 
-/// One reflected propagation path at an instant. Direction-independent:
-/// the echo geometry depends only on which tap loads are switched on.
-#[derive(Debug, Clone)]
-struct EchoState {
-    gamma: f64,
+/// Per-carrier planes for one **echo geometry group**: every echo whose
+/// stub adds the same `extra_len_m` of cable shares a decay plane and a
+/// phase-rotation plane, because both depend only on the stub length and
+/// the carrier grid — never on which appliances are switched on. The
+/// planes are built once per channel; an epoch rebuild only recomputes
+/// the scalar reflection coefficient each group is scaled by.
+#[derive(Debug, Clone, Default)]
+struct GeomGroup {
+    /// Extra path length of every echo in this group, metres.
     extra_len_m: f64,
+    /// `10^(-(alpha_root_f·len)/20)` per carrier.
+    decay: Vec<f64>,
+    /// `cos θᵢ` per carrier, `θᵢ = 2π fᵢ τ` for the group's delay `τ`.
+    cos: Vec<f64>,
+    /// `sin θᵢ` per carrier.
+    sin: Vec<f64>,
 }
 
 /// Per-carrier vectors that never change over the life of a channel:
-/// cable attenuation, frequency-selective clutter and the low-frequency
-/// noise-floor shape. Built once (at [`PlcChannel::from_grid`] time, or
-/// lazily after deserialization) with the exact floating-point
-/// expressions of the reference evaluator, so composed spectra stay
-/// bit-identical.
+/// cable attenuation, frequency-selective clutter, the low-frequency
+/// noise-floor shape, and the echo geometry planes (the taps' stub
+/// lengths are fixed; only their on/off reflection strengths move
+/// between epochs). Built once (at [`PlcChannel::from_grid`] time, or
+/// lazily after deserialization) through the kernels in
+/// [`crate::kernels`], so cached and reference spectra share every
+/// floating-point expression bit-for-bit.
 #[derive(Debug, Clone, Default)]
 struct StaticTerms {
     /// `cable_alpha · √f` per carrier — the attenuation slope shared by
@@ -234,6 +247,12 @@ struct StaticTerms {
     clutter_db: Vec<f64>,
     /// Low-frequency excess of the noise floor, dB.
     lowfreq_db: Vec<f64>,
+    /// Geometry group of each echo, in tap-then-load enumeration order
+    /// (loads first, then bare branches, per tap).
+    echo_group: Vec<u32>,
+    /// The shared per-carrier planes, one entry per distinct stub
+    /// length, in first-occurrence order.
+    groups: Vec<GeomGroup>,
 }
 
 /// Multipath terms for one **appliance epoch** — one on/off configuration
@@ -250,12 +269,23 @@ struct EpochTerms {
     /// Scratch for the candidate key of the current call, kept to avoid
     /// reallocating per evaluation.
     key_scratch: Vec<u64>,
+    /// Analytic validity window of the current key, nanoseconds: for
+    /// `valid_from_ns <= t < valid_until_ns` no tap-load schedule can
+    /// have flipped (earliest `Schedule::next_transition` across taps),
+    /// so the key — and the whole epoch — is reused without even
+    /// re-scanning the schedules.
+    valid_from_ns: u64,
+    valid_until_ns: u64,
     /// Summed transit loss past all loaded taps, dB.
     transit_db_total: f64,
     /// Per-carrier multipath interference term, dB.
     mp_db: Vec<f64>,
-    /// Echo scratch, reused across rebuilds.
-    echoes: Vec<EchoState>,
+    /// Per-group reflection coefficients (summed `echo_gain·γ`), scratch
+    /// reused across rebuilds.
+    coeffs: Vec<f64>,
+    /// Interference accumulator planes, scratch reused across rebuilds.
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 /// Cache-effectiveness counters, registered lazily against the ambient
@@ -265,6 +295,11 @@ struct EpochTerms {
 struct CacheMetrics {
     epoch_hits: Counter,
     epoch_rebuilds: Counter,
+    /// Calls served inside the analytic validity window — no schedule
+    /// was even scanned.
+    key_skips: Counter,
+    /// Calls that fell outside the window and re-derived the epoch key.
+    key_rescans: Counter,
 }
 
 impl CacheMetrics {
@@ -274,6 +309,8 @@ impl CacheMetrics {
         CacheMetrics {
             epoch_hits: reg.counter("plc.phy.spectrum.epoch_hits"),
             epoch_rebuilds: reg.counter("plc.phy.spectrum.epoch_rebuilds"),
+            key_skips: reg.counter("plc.phy.spectrum.key_skips"),
+            key_rescans: reg.counter("plc.phy.spectrum.key_rescans"),
         }
     }
 }
@@ -435,7 +472,7 @@ impl PlcChannel {
         };
         // Warm the static per-carrier vectors now: every spectrum of this
         // link needs them and they never change.
-        ch.cache.state.borrow_mut().stat = Some(ch.build_static_terms());
+        ch.cache.state.borrow_mut().stat = Some(ch.build_static_terms(true));
         Some(ch)
     }
 
@@ -604,39 +641,85 @@ impl PlcChannel {
         let state = &mut *guard;
         let st = state.stat.get_or_insert_with(|| {
             let _span = obs::span::enter_at("phy.static_build", t);
-            self.build_static_terms()
+            self.build_static_terms(true)
         });
         let metrics = state.metrics.get_or_insert_with(CacheMetrics::register);
         let ep = &mut state.epoch;
-        self.epoch_key_into(t, &mut ep.key_scratch);
-        if ep.valid && ep.key == ep.key_scratch {
+        let now = t.as_nanos();
+        if ep.valid && now >= ep.valid_from_ns && now < ep.valid_until_ns {
+            // Analytic skip: no tap-load schedule can transition inside
+            // the cached window, so the key — hence the epoch — is
+            // still current without scanning a single schedule.
+            metrics.key_skips.inc();
             metrics.epoch_hits.inc();
         } else {
-            // Cache-miss path only: the hit path is far too hot for a
-            // span (its cost shows up in callers' self time; its rate is
-            // already the epoch_hits counter).
-            let _span = obs::span::enter_at("phy.epoch_rebuild", t);
-            metrics.epoch_rebuilds.inc();
-            std::mem::swap(&mut ep.key, &mut ep.key_scratch);
-            self.rebuild_epoch(t, st, ep);
-            ep.valid = true;
+            metrics.key_rescans.inc();
+            self.epoch_key_into(t, &mut ep.key_scratch);
+            ep.valid_from_ns = now;
+            ep.valid_until_ns = self.epoch_window_until(t);
+            if ep.valid && ep.key == ep.key_scratch {
+                metrics.epoch_hits.inc();
+            } else {
+                // Cache-miss path only: the hit path is far too hot for a
+                // span (its cost shows up in callers' self time; its rate
+                // is already the epoch_hits counter).
+                let _span = obs::span::enter_at("phy.epoch_rebuild", t);
+                metrics.epoch_rebuilds.inc();
+                std::mem::swap(&mut ep.key, &mut ep.key_scratch);
+                self.rebuild_epoch(t, st, ep);
+                ep.valid = true;
+            }
         }
-        // --- Compose. Exact association order of the reference evaluator.
+        // --- Compose. Exact association order of the reference evaluator
+        // (the flat scalars broadcast inside the kernel).
         let n = self.plan.len();
         out.snr_db.clear();
-        out.snr_db.reserve(n);
-        for i in 0..n {
-            let atten_db =
-                st.cable_db[i] + ep.transit_db_total + board_db + st.clutter_db[i] + coupling_db
-                    - ep.mp_db[i];
-            let floor_db = p.noise_floor_dbm_hz + st.lowfreq_db[i] + ambient_db + cycle_db;
-            out.snr_db.push(p.tx_psd_dbm_hz - atten_db - floor_db);
-        }
+        out.snr_db.resize(n, 0.0);
+        let flat = kernels::FlatTerms {
+            tx_psd_dbm_hz: p.tx_psd_dbm_hz,
+            transit_db_total: ep.transit_db_total,
+            board_db,
+            coupling_db,
+            noise_floor_dbm_hz: p.noise_floor_dbm_hz,
+            ambient_db,
+            cycle_db,
+        };
+        kernels::compose_snr_chunked(
+            &mut out.snr_db,
+            &st.cable_db,
+            &st.clutter_db,
+            &st.lowfreq_db,
+            &ep.mp_db,
+            &flat,
+        );
     }
 
-    /// Static per-carrier terms, with the exact expressions (and float
-    /// association) of the reference evaluator.
-    fn build_static_terms(&self) -> StaticTerms {
+    /// End of the analytic epoch-key validity window starting at `t`:
+    /// the earliest [`Schedule::next_transition`] over every tap load,
+    /// in nanoseconds (`u64::MAX` when no load ever transitions). Local
+    /// appliances don't participate: they shape the frequency-flat
+    /// terms, which are recomputed every call anyway.
+    fn epoch_window_until(&self, t: Time) -> u64 {
+        let mut until = u64::MAX;
+        for tap in &self.taps {
+            for load in &tap.loads {
+                if let Some(u) = load.schedule.next_transition(t) {
+                    until = until.min(u.as_nanos());
+                }
+            }
+        }
+        until
+    }
+
+    /// Static per-carrier terms. The scalar planes (cable, clutter,
+    /// low-frequency noise) keep the exact expressions and association
+    /// order the model has always used; the echo geometry planes are
+    /// built through the `crate::kernels` pair selected by `chunked` —
+    /// the cached evaluator builds with the chunked variants, the
+    /// reference evaluator rebuilds from scratch with the scalar twins,
+    /// and the two agree bit-for-bit (property-tested in
+    /// `tests/kernels.rs`).
+    fn build_static_terms(&self, chunked: bool) -> StaticTerms {
         let p = &self.params;
         let n = self.plan.len();
         let clutter_scale = (self.length_m / 25.0).powf(0.7).min(1.3);
@@ -645,6 +728,8 @@ impl PlcChannel {
             cable_db: Vec::with_capacity(n),
             clutter_db: Vec::with_capacity(n),
             lowfreq_db: Vec::with_capacity(n),
+            echo_group: Vec::new(),
+            groups: Vec::new(),
         };
         for i in 0..n {
             let f_mhz = self.plan.freq_mhz(i);
@@ -659,7 +744,94 @@ impl PlcChannel {
             st.lowfreq_db
                 .push(p.noise_lowfreq_db * (-f_mhz / p.noise_knee_mhz).exp());
         }
+        // Echo geometry: one plane set per distinct stub length. The
+        // enumeration order must match `echo_setup` exactly — per tap,
+        // loads first, then bare branches.
+        for tap in &self.taps {
+            for load in &tap.loads {
+                self.push_echo_geometry(&mut st, 2.0 * load.stub_m, chunked);
+            }
+            for _ in 0..tap.bare_branches {
+                self.push_echo_geometry(&mut st, 2.0 * BARE_BRANCH_STUB_M, chunked);
+            }
+        }
         st
+    }
+
+    /// Record one echo of `extra_len_m` in `st`, building the shared
+    /// decay/rotation planes the first time the length is seen.
+    /// Lengths are matched bitwise: echoes merge only when their decay
+    /// and phase planes would be identical anyway.
+    fn push_echo_geometry(&self, st: &mut StaticTerms, extra_len_m: f64, chunked: bool) {
+        if let Some(g) = st
+            .groups
+            .iter()
+            .position(|g| g.extra_len_m.to_bits() == extra_len_m.to_bits())
+        {
+            st.echo_group.push(g as u32);
+            return;
+        }
+        let n = self.plan.len();
+        let mut group = GeomGroup {
+            extra_len_m,
+            decay: vec![0.0; n],
+            cos: vec![0.0; n],
+            sin: vec![0.0; n],
+        };
+        let tau_s = extra_len_m / PROPAGATION_M_PER_S;
+        // θᵢ = 2π fᵢ τ over the uniform grid, as a recurrence seed:
+        // θ₀ at the first carrier, dθ per carrier-pitch step.
+        let theta0 = 2.0 * std::f64::consts::PI * self.plan.freq_mhz(0) * 1e6 * tau_s;
+        let dtheta = 2.0 * std::f64::consts::PI * self.plan.spacing_mhz() * 1e6 * tau_s;
+        if chunked {
+            kernels::decay_plane_chunked(&mut group.decay, &st.alpha_root_f, extra_len_m);
+            kernels::rotation_planes_chunked(&mut group.cos, &mut group.sin, theta0, dtheta);
+        } else {
+            kernels::decay_plane_scalar(&mut group.decay, &st.alpha_root_f, extra_len_m);
+            kernels::rotation_planes_scalar(&mut group.cos, &mut group.sin, theta0, dtheta);
+        }
+        st.echo_group.push(st.groups.len() as u32);
+        st.groups.push(group);
+    }
+
+    /// Shared epoch setup: walk the taps at `t`, accumulate each
+    /// geometry group's reflection coefficient (`Σ echo_gain·γ` over its
+    /// echoes, in enumeration order) into `coeffs`, and return the
+    /// summed tap transit loss. Called by both the cached rebuild and
+    /// the reference evaluator, so the coefficient association order is
+    /// part of the shared ground truth.
+    fn echo_setup(&self, t: Time, st: &StaticTerms, coeffs: &mut Vec<f64>) -> f64 {
+        let p = &self.params;
+        coeffs.clear();
+        coeffs.resize(st.groups.len(), 0.0);
+        let mut transit_db_total = 0.0;
+        let mut echo = 0usize;
+        for tap in &self.taps {
+            // Combine loads in parallel (admittances add).
+            let mut y = 0.0f64;
+            for load in &tap.loads {
+                let z = if load.schedule.is_on(t) {
+                    load.profile.impedance_on_ohms
+                } else {
+                    load.profile.impedance_off_ohms
+                } + load.stub_m * p.stub_ohms_per_m;
+                y += 1.0 / z;
+                let gamma = tap_reflection(z, CABLE_Z0_OHMS);
+                coeffs[st.echo_group[echo] as usize] += p.echo_gain * gamma;
+                echo += 1;
+            }
+            for _ in 0..tap.bare_branches {
+                y += 1.0 / (CABLE_Z0_OHMS + BARE_BRANCH_STUB_M * p.stub_ohms_per_m);
+                coeffs[st.echo_group[echo] as usize] +=
+                    p.echo_gain * tap_reflection(CABLE_Z0_OHMS, CABLE_Z0_OHMS);
+                echo += 1;
+            }
+            if y > 0.0 {
+                let gamma_tap = tap_reflection(1.0 / y, CABLE_Z0_OHMS);
+                transit_db_total += p.tap_transit_scale * tap_transit_db(gamma_tap);
+            }
+        }
+        transit_db_total
     }
 
     /// Pack every tap load's on/off state at `t` into `key` (64 states
@@ -687,69 +859,47 @@ impl PlcChannel {
         }
     }
 
-    /// Rebuild the epoch-dependent terms (echo set, tap transit loss,
-    /// per-carrier multipath) for the load configuration at `t`. The loops
-    /// are verbatim from the reference evaluator, except that the echo
-    /// stub attenuation reuses the cached `cable_alpha · √f` prefix
-    /// (same association order, hence bit-identical).
+    /// Rebuild the epoch-dependent terms (per-group reflection
+    /// coefficients, tap transit loss, per-carrier multipath) for the
+    /// load configuration at `t`. All transcendentals live in the
+    /// static geometry planes, so the rebuild is a handful of chunked
+    /// multiply-accumulate passes plus the dB finisher — tens of
+    /// microseconds for a 917-carrier plan.
     fn rebuild_epoch(&self, t: Time, st: &StaticTerms, ep: &mut EpochTerms) {
-        let p = &self.params;
-        ep.transit_db_total = 0.0;
-        ep.echoes.clear();
-        for tap in &self.taps {
-            // Combine loads in parallel (admittances add).
-            let mut y = 0.0f64;
-            for load in &tap.loads {
-                let z = if load.schedule.is_on(t) {
-                    load.profile.impedance_on_ohms
-                } else {
-                    load.profile.impedance_off_ohms
-                } + load.stub_m * p.stub_ohms_per_m;
-                y += 1.0 / z;
-                let z_alone = z;
-                let gamma_alone = tap_reflection(z_alone, CABLE_Z0_OHMS);
-                ep.echoes.push(EchoState {
-                    gamma: gamma_alone,
-                    extra_len_m: 2.0 * load.stub_m,
-                });
-            }
-            for _ in 0..tap.bare_branches {
-                y += 1.0 / (CABLE_Z0_OHMS + BARE_BRANCH_STUB_M * p.stub_ohms_per_m);
-                ep.echoes.push(EchoState {
-                    gamma: tap_reflection(CABLE_Z0_OHMS, CABLE_Z0_OHMS),
-                    extra_len_m: 2.0 * BARE_BRANCH_STUB_M,
-                });
-            }
-            if y > 0.0 {
-                let gamma_tap = tap_reflection(1.0 / y, CABLE_Z0_OHMS);
-                ep.transit_db_total += p.tap_transit_scale * tap_transit_db(gamma_tap);
-            }
+        {
+            let _span = obs::span::enter_at("phy.echo_setup", t);
+            ep.transit_db_total = self.echo_setup(t, st, &mut ep.coeffs);
         }
+        let _span = obs::span::enter_at("phy.mp_kernel", t);
         let n = self.plan.len();
-        ep.mp_db.clear();
-        ep.mp_db.reserve(n);
-        for i in 0..n {
-            let f_mhz = self.plan.freq_mhz(i);
-            // Multipath interference relative to the direct ray.
-            let mut re = 1.0f64;
-            let mut im = 0.0f64;
-            for e in &ep.echoes {
-                let extra_cable_db = st.alpha_root_f[i] * e.extra_len_m;
-                let amp = p.echo_gain * e.gamma * 10f64.powf(-extra_cable_db / 20.0);
-                let tau_s = e.extra_len_m / PROPAGATION_M_PER_S;
-                let theta = 2.0 * std::f64::consts::PI * f_mhz * 1e6 * tau_s;
-                re -= amp * theta.cos(); // reflection inverts polarity (Γ<0 for shunts)
-                im += amp * theta.sin();
-            }
-            ep.mp_db
-                .push((20.0 * (re * re + im * im).sqrt().max(1e-9).log10()).max(MAX_NULL_DB));
+        ep.re.resize(n, 0.0);
+        ep.im.resize(n, 0.0);
+        kernels::reset_planes(&mut ep.re, &mut ep.im);
+        for (g, group) in st.groups.iter().enumerate() {
+            kernels::echo_mac_chunked(
+                &mut ep.re,
+                &mut ep.im,
+                ep.coeffs[g],
+                &group.decay,
+                &group.cos,
+                &group.sin,
+            );
         }
+        ep.mp_db.clear();
+        ep.mp_db.resize(n, 0.0);
+        kernels::mp_db_chunked(&mut ep.mp_db, &ep.re, &ep.im, MAX_NULL_DB);
     }
 
-    /// The original, uncached evaluator, kept as the ground truth the
-    /// cache must reproduce bit-for-bit: `tests/spectrum_cache.rs`
-    /// property-tests [`PlcChannel::spectrum_at_phase`] against this, and
-    /// the criterion benches use it as the cold baseline.
+    /// The uncached evaluator, kept as the ground truth the cache must
+    /// reproduce bit-for-bit: `tests/spectrum_cache.rs` property-tests
+    /// [`PlcChannel::spectrum_at_phase`] against this, and the benches
+    /// use it as the cold baseline. It recomputes everything from
+    /// scratch each call — static planes, echo geometry, epoch
+    /// coefficients — through the **scalar** twins of the kernels the
+    /// cache runs chunked, per the PR discipline: where vectorized math
+    /// cannot be bit-identical to a naive carrier-major loop, both arms
+    /// share one kernel definition instead, and `tests/kernels.rs` pins
+    /// the chunked/scalar pair together.
     pub fn spectrum_at_phase_reference(&self, dir: LinkDir, t: Time, phase: f64) -> SnrSpectrum {
         let p = &self.params;
         let (src_local, dst_local, cycle, dst_static_db) = match dir {
@@ -766,38 +916,12 @@ impl PlcChannel {
                 self.static_noise_a_db,
             ),
         };
+        // --- Static planes and echo geometry, rebuilt from scratch with
+        // the scalar kernels.
+        let st = self.build_static_terms(false);
         // --- Direction-independent tap states at time t.
-        let mut transit_db_total = 0.0;
-        let mut echoes: Vec<EchoState> = Vec::new();
-        for tap in &self.taps {
-            // Combine loads in parallel (admittances add).
-            let mut y = 0.0f64;
-            for load in &tap.loads {
-                let z = if load.schedule.is_on(t) {
-                    load.profile.impedance_on_ohms
-                } else {
-                    load.profile.impedance_off_ohms
-                } + load.stub_m * p.stub_ohms_per_m;
-                y += 1.0 / z;
-                let z_alone = z;
-                let gamma_alone = tap_reflection(z_alone, CABLE_Z0_OHMS);
-                echoes.push(EchoState {
-                    gamma: gamma_alone,
-                    extra_len_m: 2.0 * load.stub_m,
-                });
-            }
-            for _ in 0..tap.bare_branches {
-                y += 1.0 / (CABLE_Z0_OHMS + BARE_BRANCH_STUB_M * p.stub_ohms_per_m);
-                echoes.push(EchoState {
-                    gamma: tap_reflection(CABLE_Z0_OHMS, CABLE_Z0_OHMS),
-                    extra_len_m: 2.0 * BARE_BRANCH_STUB_M,
-                });
-            }
-            if y > 0.0 {
-                let gamma_tap = tap_reflection(1.0 / y, CABLE_Z0_OHMS);
-                transit_db_total += p.tap_transit_scale * tap_transit_db(gamma_tap);
-            }
-        }
+        let mut coeffs = Vec::new();
+        let transit_db_total = self.echo_setup(t, &st, &mut coeffs);
         // --- Direction-dependent coupling losses.
         let coupling_db = p.injection_weight * self.coupling_loss_db(src_local, t)
             + p.extraction_weight * self.coupling_loss_db(dst_local, t);
@@ -807,40 +931,42 @@ impl PlcChannel {
         let cycle_db = cycle.fbm(t.as_secs_f64() / p.cycle_corr_s, 2) * 2.0 * sigma;
         let board_db = self.boards_crossed as f64 * p.board_transit_db;
 
+        // --- Multipath interference relative to the direct ray.
         let n = self.plan.len();
-        let mut snr_db = Vec::with_capacity(n);
-        // Clutter grows with route length: short in-room links see almost
-        // none (the paper: <30 m guarantees good links), long routes
-        // accumulate unmodelled wiring structure (30-100 m can be good or
-        // bad, Fig. 7).
-        let clutter_scale = (self.length_m / 25.0).powf(0.7).min(1.3);
-        for i in 0..n {
-            let f_mhz = self.plan.freq_mhz(i);
-            let cable_db = p.cable_alpha * f_mhz.sqrt() * self.length_m;
-            // Static frequency-selective clutter, per link.
-            let clutter_db =
-                p.clutter_db * (1.0 + self.clutter.fbm(f_mhz / 2.0, 2)) * clutter_scale;
-            // Multipath interference relative to the direct ray.
-            let mut re = 1.0f64;
-            let mut im = 0.0f64;
-            for e in &echoes {
-                let extra_cable_db = p.cable_alpha * f_mhz.sqrt() * e.extra_len_m;
-                let amp = p.echo_gain * e.gamma * 10f64.powf(-extra_cable_db / 20.0);
-                let tau_s = e.extra_len_m / PROPAGATION_M_PER_S;
-                let theta = 2.0 * std::f64::consts::PI * f_mhz * 1e6 * tau_s;
-                re -= amp * theta.cos(); // reflection inverts polarity (Γ<0 for shunts)
-                im += amp * theta.sin();
-            }
-            let mp_db = (20.0 * (re * re + im * im).sqrt().max(1e-9).log10()).max(MAX_NULL_DB);
-            let atten_db =
-                cable_db + transit_db_total + board_db + clutter_db + coupling_db - mp_db;
-            // Noise PSD at the receiver for this carrier.
-            let floor_db = p.noise_floor_dbm_hz
-                + p.noise_lowfreq_db * (-f_mhz / p.noise_knee_mhz).exp()
-                + ambient_db
-                + cycle_db;
-            snr_db.push(p.tx_psd_dbm_hz - atten_db - floor_db);
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        kernels::reset_planes(&mut re, &mut im);
+        for (g, group) in st.groups.iter().enumerate() {
+            kernels::echo_mac_scalar(
+                &mut re,
+                &mut im,
+                coeffs[g],
+                &group.decay,
+                &group.cos,
+                &group.sin,
+            );
         }
+        let mut mp_db = vec![0.0; n];
+        kernels::mp_db_scalar(&mut mp_db, &re, &im, MAX_NULL_DB);
+        // --- Compose.
+        let flat = kernels::FlatTerms {
+            tx_psd_dbm_hz: p.tx_psd_dbm_hz,
+            transit_db_total,
+            board_db,
+            coupling_db,
+            noise_floor_dbm_hz: p.noise_floor_dbm_hz,
+            ambient_db,
+            cycle_db,
+        };
+        let mut snr_db = vec![0.0; n];
+        kernels::compose_snr_scalar(
+            &mut snr_db,
+            &st.cable_db,
+            &st.clutter_db,
+            &st.lowfreq_db,
+            &mp_db,
+            &flat,
+        );
         SnrSpectrum { snr_db }
     }
 }
@@ -1163,5 +1289,35 @@ mod tests {
         let snap = obs.registry().snapshot();
         assert_eq!(snap.counter("plc.phy.spectrum.epoch_rebuilds"), 2);
         assert_eq!(snap.counter("plc.phy.spectrum.epoch_hits"), 2);
+        // The analytic window makes both hits free: noon+5ms sits inside
+        // [noon, 21:00) and night+1s inside [23:00, midnight), so neither
+        // re-scanned a schedule. The two cold/flipped calls rescanned.
+        assert_eq!(snap.counter("plc.phy.spectrum.key_skips"), 2);
+        assert_eq!(snap.counter("plc.phy.spectrum.key_rescans"), 2);
+    }
+
+    #[test]
+    fn analytic_window_never_serves_a_stale_epoch() {
+        // Sweep across the 21:00 BuildingLights boundary in coarse steps:
+        // every sample must agree bitwise with the reference evaluator
+        // even though most calls are served from the analytic window.
+        let mut g = Grid::new();
+        let a = g.add_outlet("A");
+        let j = g.add_junction("J");
+        let b = g.add_outlet("B");
+        g.connect(a, j, 20.0);
+        g.connect(j, b, 20.0);
+        let o = g.add_outlet("L");
+        g.connect(j, o, 3.0);
+        g.attach(o, ApplianceKind::Lighting, Schedule::BuildingLights);
+        let c = chan(&g, a, b);
+        for step in 0..200u64 {
+            let t = Time::from_hours(20) + simnet::time::Duration::from_secs(step * 36);
+            let cached = c.spectrum_at_phase(LinkDir::AtoB, t, 0.3);
+            let reference = c.spectrum_at_phase_reference(LinkDir::AtoB, t, 0.3);
+            for (i, (w, r)) in cached.snr_db.iter().zip(&reference.snr_db).enumerate() {
+                assert_eq!(w.to_bits(), r.to_bits(), "carrier {i} stale at step {step}");
+            }
+        }
     }
 }

@@ -29,6 +29,10 @@
 //! * [`characterization`] — frequency-domain channel statistics
 //!   (selectivity, notches, coherence bandwidth, delay spread): the
 //!   channel-sounding view behind the §5 multipath discussion.
+//! * [`kernels`] — the structure-of-arrays per-carrier kernels behind
+//!   the spectrum cache: lane-chunked loops LLVM autovectorizes, with
+//!   scalar twins the reference evaluator uses so cached and reference
+//!   spectra stay bit-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@ pub mod channel;
 pub mod characterization;
 pub mod error;
 pub mod estimation;
+pub mod kernels;
 pub mod modulation;
 pub mod tonemap;
 

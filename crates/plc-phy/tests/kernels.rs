@@ -1,0 +1,173 @@
+//! Chunked/scalar kernel pairs must agree **bit for bit**: the cached
+//! evaluator runs the lane-chunked forms, the reference evaluator runs
+//! the scalar twins, and `tests/spectrum_cache.rs` requires the two
+//! evaluators to match — which only holds if every pair here is exact.
+//! Lane remainders (n ∉ 8ℤ), signed zeros, and subnormal inputs are the
+//! cases where a chunked rewrite would classically diverge, so they get
+//! explicit coverage.
+
+use plc_phy::kernels::{
+    compose_snr_chunked, compose_snr_scalar, decay_plane_chunked, decay_plane_scalar,
+    echo_mac_chunked, echo_mac_scalar, exp10, mp_db_chunked, mp_db_scalar, reset_planes,
+    rotation_planes_chunked, rotation_planes_scalar, FlatTerms, LANES,
+};
+use proptest::prelude::*;
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+/// Map an index seed to an adversarial f64: signed zeros, subnormals,
+/// tiny and huge magnitudes, and ordinary values. Deterministic so
+/// failures replay.
+fn special_f64(ix: u64) -> f64 {
+    match ix % 11 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::from_bits(1), // smallest positive subnormal
+        3 => -f64::from_bits(0x000f_ffff_ffff_ffff), // largest negative subnormal
+        4 => f64::MIN_POSITIVE,
+        5 => 1e-300,
+        6 => -1e-300,
+        7 => 1e300,
+        8 => -1e300,
+        9 => 1.0 + ix as f64 * 1e-3,
+        _ => -(0.5 + ix as f64 * 1e-3),
+    }
+}
+
+fn special_vec(seed: u64, n: usize) -> Vec<f64> {
+    (0..n as u64)
+        .map(|i| special_f64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(i * 7)))
+        .collect()
+}
+
+proptest! {
+    /// Decay planes: chunked == scalar over every lane remainder and
+    /// physical + adversarial stub lengths.
+    #[test]
+    fn decay_plane_pair_is_bit_identical(
+        n in 0usize..4 * LANES + 5,
+        len_scaled in 0u64..4_000,
+        seed in 0u64..1_000,
+    ) {
+        let alpha: Vec<f64> = (0..n)
+            .map(|i| 0.04 * (1.8 + i as f64 * 0.03).sqrt())
+            .collect();
+        // Mix in adversarial inputs too.
+        let alpha_adv = special_vec(seed, n);
+        let extra_len_m = len_scaled as f64 / 100.0;
+        for plane in [&alpha, &alpha_adv] {
+            let mut chunked = vec![0.0; n];
+            let mut scalar = vec![0.0; n];
+            decay_plane_chunked(&mut chunked, plane, extra_len_m);
+            decay_plane_scalar(&mut scalar, plane, extra_len_m);
+            assert_bits_eq(&chunked, &scalar, "decay");
+        }
+    }
+
+    /// Rotation planes: the 8-lane recurrence emits the same bits
+    /// whether the loop is chunked or element-at-a-time, across
+    /// remainders, zero/negative steps and large angles.
+    #[test]
+    fn rotation_plane_pair_is_bit_identical(
+        n in 0usize..4 * LANES + 5,
+        theta0 in -700.0f64..700.0,
+        dtheta in -0.5f64..0.5,
+    ) {
+        for dt in [dtheta, 0.0, -0.0] {
+            let mut cc = vec![0.0; n];
+            let mut cs = vec![0.0; n];
+            let mut sc = vec![0.0; n];
+            let mut ss = vec![0.0; n];
+            rotation_planes_chunked(&mut cc, &mut sc, theta0, dt);
+            rotation_planes_scalar(&mut cs, &mut ss, theta0, dt);
+            assert_bits_eq(&cc, &cs, "cos");
+            assert_bits_eq(&sc, &ss, "sin");
+        }
+    }
+
+    /// Echo accumulation: chunked == scalar with signed zeros and
+    /// subnormals in every operand, including coeff = ±0 (an echo group
+    /// whose reflections cancelled).
+    #[test]
+    fn echo_mac_pair_is_bit_identical(
+        n in 0usize..4 * LANES + 5,
+        seed in 0u64..10_000,
+        coeff_ix in 0u64..24,
+    ) {
+        let decay = special_vec(seed, n);
+        let cos = special_vec(seed ^ 0xC0, n);
+        let sin = special_vec(seed ^ 0x51, n);
+        let coeff = special_f64(coeff_ix);
+        let mut re_c = vec![0.0; n];
+        let mut im_c = vec![0.0; n];
+        reset_planes(&mut re_c, &mut im_c);
+        let mut re_s = re_c.clone();
+        let mut im_s = im_c.clone();
+        echo_mac_chunked(&mut re_c, &mut im_c, coeff, &decay, &cos, &sin);
+        echo_mac_scalar(&mut re_s, &mut im_s, coeff, &decay, &cos, &sin);
+        assert_bits_eq(&re_c, &re_s, "re");
+        assert_bits_eq(&im_c, &im_s, "im");
+    }
+
+    /// dB finisher: chunked == scalar, covering the 1e-9 null clamp
+    /// (re = im = 0) and the MAX_NULL floor.
+    #[test]
+    fn mp_db_pair_is_bit_identical(
+        n in 0usize..4 * LANES + 5,
+        seed in 0u64..10_000,
+    ) {
+        let re = special_vec(seed, n);
+        let im = special_vec(seed ^ 0x1111, n);
+        let mut chunked = vec![0.0; n];
+        let mut scalar = vec![0.0; n];
+        mp_db_chunked(&mut chunked, &re, &im, -25.0);
+        mp_db_scalar(&mut scalar, &re, &im, -25.0);
+        assert_bits_eq(&chunked, &scalar, "mp_db");
+    }
+
+    /// Final SNR composition: chunked == scalar with adversarial planes
+    /// and flats.
+    #[test]
+    fn compose_pair_is_bit_identical(
+        n in 0usize..4 * LANES + 5,
+        seed in 0u64..10_000,
+    ) {
+        let cable = special_vec(seed, n);
+        let clutter = special_vec(seed ^ 0x22, n);
+        let lowfreq = special_vec(seed ^ 0x33, n);
+        let mp = special_vec(seed ^ 0x44, n);
+        let flat = FlatTerms {
+            tx_psd_dbm_hz: -55.0,
+            transit_db_total: special_f64(seed ^ 0x55),
+            board_db: 19.0,
+            coupling_db: special_f64(seed ^ 0x66),
+            noise_floor_dbm_hz: -118.0,
+            ambient_db: special_f64(seed ^ 0x77),
+            cycle_db: special_f64(seed ^ 0x88),
+        };
+        let mut chunked = vec![0.0; n];
+        let mut scalar = vec![0.0; n];
+        compose_snr_chunked(&mut chunked, &cable, &clutter, &lowfreq, &mp, &flat);
+        compose_snr_scalar(&mut scalar, &cable, &clutter, &lowfreq, &mp, &flat);
+        assert_bits_eq(&chunked, &scalar, "compose");
+    }
+
+    /// exp10 is well-behaved on the adversarial set: finite in, finite
+    /// positive out (the kernel's own contract — it backs amplitude
+    /// ratios, which must never go negative, NaN or infinite).
+    #[test]
+    fn exp10_stays_finite_and_positive(seed in 0u64..100_000) {
+        let x = special_f64(seed);
+        let y = exp10(x);
+        prop_assert!(y.is_finite() && y > 0.0, "exp10({x}) = {y}");
+    }
+}

@@ -120,6 +120,78 @@ proptest! {
     }
 }
 
+/// An empty-echo epoch — a bare cable with no taps at all — exercises
+/// the kernels with zero geometry groups: the interference planes stay
+/// at the direct ray (re = 1, im = 0), mp_db is exactly 0 dB, and the
+/// cached arm must still match the reference bitwise.
+#[test]
+fn empty_echo_epoch_matches_reference() {
+    let mut g = Grid::new();
+    let a = g.add_outlet("A");
+    let b = g.add_outlet("B");
+    g.connect(a, b, 55.0);
+    let ch = PlcChannel::from_grid(
+        &g,
+        a,
+        b,
+        PlcTechnology::HpAv,
+        PlcChannelParams::default(),
+        3,
+    )
+    .expect("connected");
+    for hour in [2u64, 11, 20] {
+        let t = Time::from_hours(hour);
+        let reference = ch.spectrum_at_phase_reference(LinkDir::AtoB, t, 0.4);
+        let cached = ch.spectrum_at_phase(LinkDir::AtoB, t, 0.4);
+        assert_bitwise_eq(&reference, &cached, "empty-echo");
+    }
+}
+
+/// An all-loads-off epoch: every schedule on the busy link that *can*
+/// be off is off late on a Saturday night (office hours and sporadic
+/// activity skip weekends, building lights cut at 21:00). The off-state
+/// impedances still reflect, so the epoch is non-trivial — it just has
+/// to match the reference like any other.
+#[test]
+fn all_loads_off_epoch_matches_reference() {
+    let mut g = Grid::new();
+    let a = g.add_outlet("A");
+    let j = g.add_junction("J");
+    let b = g.add_outlet("B");
+    g.connect(a, j, 14.0);
+    g.connect(j, b, 11.0);
+    let desk = g.add_outlet("desk");
+    g.connect(j, desk, 4.0);
+    g.attach(
+        desk,
+        ApplianceKind::DesktopPc,
+        Schedule::OfficeHours { seed: 5 },
+    );
+    let lights = g.add_outlet("lights");
+    g.connect(j, lights, 3.0);
+    g.attach(lights, ApplianceKind::Lighting, Schedule::BuildingLights);
+    let ch = PlcChannel::from_grid(
+        &g,
+        a,
+        b,
+        PlcTechnology::HpAv,
+        PlcChannelParams::default(),
+        11,
+    )
+    .expect("connected");
+    // Day 5 (Saturday) 23:00 — weekend night, everything off.
+    let t = Time::from_hours(5 * 24 + 23);
+    assert!(!Schedule::OfficeHours { seed: 5 }.is_on(t));
+    assert!(!Schedule::BuildingLights.is_on(t));
+    let reference = ch.spectrum_at_phase_reference(LinkDir::BtoA, t, 0.2);
+    let cold = ch.spectrum_at_phase(LinkDir::BtoA, t, 0.2);
+    assert_bitwise_eq(&reference, &cold, "all-off cold");
+    let warm = ch.spectrum_at_phase(LinkDir::BtoA, t + Duration::from_millis(40), 0.2);
+    let reference_warm =
+        ch.spectrum_at_phase_reference(LinkDir::BtoA, t + Duration::from_millis(40), 0.2);
+    assert_bitwise_eq(&reference_warm, &warm, "all-off warm");
+}
+
 /// AV500's wider plan (2153 carriers) goes through the same cache.
 #[test]
 fn av500_cached_matches_reference() {

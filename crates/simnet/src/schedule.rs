@@ -14,6 +14,17 @@
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
 
+/// Nanoseconds per hour.
+const HOUR_NS: u64 = 3_600_000_000_000;
+/// Nanoseconds per day.
+const DAY_NS: u64 = 24 * HOUR_NS;
+/// Safety margin (ns) around schedule boundaries that are derived from
+/// floating-point hour arithmetic (office arrivals, sporadic ramp
+/// crossings). [`Schedule::next_transition`] may under-report by up to
+/// this margin — callers rescan a few nanoseconds of sim time early —
+/// but must never over-report past a real transition.
+const BOUNDARY_MARGIN_NS: u64 = 16;
+
 /// Deterministic per-slot hash used for randomized schedules: maps
 /// (seed, slot) to a uniform value in [0, 1).
 fn slot_hash(seed: u64, slot: u64) -> f64 {
@@ -96,6 +107,111 @@ impl Schedule {
         }
     }
 
+    /// Earliest instant after `t` at which [`Schedule::is_on`] may change.
+    ///
+    /// Contract: `Some(u)` guarantees `is_on` is **constant on `[t, u)`**;
+    /// `None` guarantees it is constant on `[t, ∞)`. The bound is
+    /// conservative — the state may in fact stay put at `u` (a rescan
+    /// simply finds the same answer) — but it never skips past a real
+    /// flip. Boundaries derived from float hour arithmetic are pulled in
+    /// by [`BOUNDARY_MARGIN_NS`]; inside that uncertainty window the
+    /// function degrades to `t + 1 ns` (rescan every call for a few
+    /// nanoseconds of sim time rather than risk missing the edge).
+    ///
+    /// This is what lets epoch-keyed caches (the PLC spectrum cache)
+    /// skip re-scanning every schedule per evaluation: the earliest
+    /// transition across all relevant schedules bounds how long the
+    /// packed on/off key stays valid.
+    pub fn next_transition(&self, t: Time) -> Option<Time> {
+        let now = t.as_nanos();
+        let day_start = now - now % DAY_NS;
+        let in_day = now - day_start;
+        match *self {
+            Schedule::AlwaysOn => None,
+            Schedule::BuildingLights => {
+                // Flips at 07:00 and 21:00 (weekdays); the weekday/weekend
+                // state itself can only change at midnight. All three
+                // boundaries are exact in nanoseconds.
+                let cand = [7 * HOUR_NS, 21 * HOUR_NS, DAY_NS]
+                    .into_iter()
+                    .filter(|&c| c > in_day)
+                    .min()
+                    .expect("DAY_NS > in_day always");
+                Some(Time(day_start + cand))
+            }
+            Schedule::OfficeHours { seed } => {
+                if t.is_weekend() {
+                    // Weekend visits re-draw per whole hour; hour
+                    // boundaries (and midnight, a multiple) are exact.
+                    return Some(Time::from_secs((t.as_secs() / 3600 + 1) * 3600));
+                }
+                let day = t.day_index();
+                let arrive = 8.0 + 2.0 * (slot_hash(seed, day) - 0.5);
+                let leave = 18.5 + 2.0 * (slot_hash(seed ^ 1, day) - 0.5);
+                let mut best = DAY_NS;
+                for hours in [arrive, leave] {
+                    if let Some(c) = float_boundary_after(in_day, hours * HOUR_NS as f64) {
+                        best = best.min(c);
+                    }
+                }
+                Some(Time(day_start + best))
+            }
+            Schedule::DutyCycle { on_s, off_s, seed } => {
+                let period = on_s + off_s;
+                if period == 0 || on_s == 0 || off_s == 0 {
+                    // Degenerate cycles never change state.
+                    return None;
+                }
+                // `is_on` depends on whole seconds only, so the flip
+                // lands exactly on a second boundary.
+                let phase = (slot_hash(seed, 0) * period as f64) as u64;
+                let s = t.as_secs();
+                let r = (s + phase) % period;
+                let delta = if r < on_s { on_s - r } else { period - r };
+                Some(Time::from_secs(s + delta))
+            }
+            Schedule::Sporadic { p_active, seed } => {
+                // The per-slot draw re-rolls every 600 s (slot boundaries
+                // divide midnight exactly); within a slot the state can
+                // still flip where `p_active · working_activity(t)`
+                // crosses the slot's hash, which only moves inside the
+                // two weekday activity ramps.
+                let slot = t.as_secs() / 600;
+                let slot_end = Time::from_secs((slot + 1) * 600).as_nanos();
+                if t.is_weekend() {
+                    return Some(Time(slot_end));
+                }
+                // Weekday piecewise-activity edges, all exact in ns
+                // (17.5 h = 63e12 ns).
+                const EDGES_H: [f64; 7] = [7.0, 9.0, 12.0, 13.0, 17.5, 21.0, 24.0];
+                let region_end = EDGES_H
+                    .into_iter()
+                    .map(|h| (h * HOUR_NS as f64) as u64)
+                    .find(|&c| c > in_day)
+                    .expect("24 h edge bounds the day");
+                let mut best = slot_end.min(day_start + region_end);
+                let h = t.hour_of_day();
+                let hash = slot_hash(seed, slot);
+                let crossing_h = if (7.0..9.0).contains(&h) {
+                    // activity = (h − 7)/2, rising: p crosses the hash at
+                    // h* = 7 + 2·hash/p_active.
+                    Some(7.0 + 2.0 * hash / p_active)
+                } else if (17.5..21.0).contains(&h) {
+                    // activity = (21 − h)/3.5·0.8, falling.
+                    Some(21.0 - 3.5 * hash / (0.8 * p_active))
+                } else {
+                    None
+                };
+                if let Some(hx) = crossing_h {
+                    if let Some(c) = float_boundary_after(in_day, hx * HOUR_NS as f64) {
+                        best = best.min(day_start + c);
+                    }
+                }
+                Some(Time(best))
+            }
+        }
+    }
+
     /// Fraction of a long window around `t` (one hour) this schedule is
     /// expected to be on — a smooth "load level" for analytic models.
     pub fn duty_at(&self, t: Time) -> f64 {
@@ -127,6 +243,27 @@ impl Schedule {
             Schedule::DutyCycle { on_s, off_s, .. } => on_s as f64 / (on_s + off_s) as f64,
             Schedule::Sporadic { p_active, .. } => p_active * working_activity(t),
         }
+    }
+}
+
+/// Conservative "next boundary" filter for float-derived candidates.
+/// `now` and the candidate are both offsets within the current day, ns.
+///
+/// * candidate safely ahead → report it [`BOUNDARY_MARGIN_NS`] early;
+/// * `now` inside the ±margin uncertainty window → report `now + 1`
+///   (degrade to rescan-per-call until the window passes);
+/// * candidate safely behind (or not finite) → no candidate.
+fn float_boundary_after(now: u64, cand_ns: f64) -> Option<u64> {
+    if !cand_ns.is_finite() || cand_ns < 0.0 {
+        return None;
+    }
+    let c = cand_ns as u64;
+    if now + BOUNDARY_MARGIN_NS < c {
+        Some(c - BOUNDARY_MARGIN_NS)
+    } else if now < c.saturating_add(BOUNDARY_MARGIN_NS) {
+        Some(now + 1)
+    } else {
+        None
     }
 }
 
@@ -237,6 +374,149 @@ mod tests {
         assert!(working_activity(at(0, 12.5)) < working_activity(at(0, 10.0)));
         assert!(working_activity(at(0, 2.0)) < 0.1);
         assert!(working_activity(at(5, 12.0)) < 0.1); // Saturday
+    }
+
+    /// Every schedule family worth exercising for transition bounds.
+    fn transition_schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::AlwaysOn,
+            Schedule::BuildingLights,
+            Schedule::OfficeHours { seed: 11 },
+            Schedule::OfficeHours { seed: 0xFEED },
+            Schedule::DutyCycle {
+                on_s: 120,
+                off_s: 300,
+                seed: 5,
+            },
+            Schedule::DutyCycle {
+                on_s: 7,
+                off_s: 13,
+                seed: 9,
+            },
+            Schedule::Sporadic {
+                p_active: 0.4,
+                seed: 21,
+            },
+            Schedule::Sporadic {
+                p_active: 0.9,
+                seed: 3,
+            },
+        ]
+    }
+
+    /// Cheap deterministic u64 stream for sampling instants.
+    fn scramble(x: u64) -> u64 {
+        let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn next_transition_is_strictly_ahead() {
+        for s in transition_schedules() {
+            for k in 0..500u64 {
+                let t = Time(scramble(k) % (14 * 24 * HOUR_NS));
+                if let Some(u) = s.next_transition(t) {
+                    assert!(u > t, "{s:?}: next_transition({t:?}) = {u:?} not ahead");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_is_constant_until_next_transition() {
+        // The contract the PHY epoch-key skip relies on: is_on may not
+        // change anywhere in [t, next_transition(t)). Sample the window
+        // densely, including both ends.
+        for s in transition_schedules() {
+            for k in 0..400u64 {
+                let t = Time(scramble(k ^ 0xABCD) % (14 * 24 * HOUR_NS));
+                let state = s.is_on(t);
+                let Some(u) = s.next_transition(t) else {
+                    // Constant forever: spot-check far ahead.
+                    for d in [1u64, HOUR_NS, 30 * DAY_NS] {
+                        assert_eq!(s.is_on(Time(t.0 + d)), state, "{s:?} changed");
+                    }
+                    continue;
+                };
+                let span = u.0 - t.0;
+                for i in 0..32u64 {
+                    let off = (scramble(k * 37 + i) % span).max(if i == 0 { 0 } else { 1 });
+                    let probe = Time(t.0 + off);
+                    assert!(probe < u);
+                    assert_eq!(
+                        s.is_on(probe),
+                        state,
+                        "{s:?}: flipped inside [{t:?}, {u:?}) at {probe:?}"
+                    );
+                }
+                // The last representable instant of the window too.
+                assert_eq!(s.is_on(Time(u.0 - 1)), state, "{s:?} flipped at window end");
+            }
+        }
+    }
+
+    #[test]
+    fn next_transition_makes_progress() {
+        // Chained windows must cross a full week in a bounded number of
+        // steps — the skip cache would otherwise thrash. The uncertainty
+        // fallback (t+1 ns) is allowed, but only near boundaries, so the
+        // step count stays small.
+        for s in transition_schedules() {
+            let mut t = Time(3 * HOUR_NS + 123_456);
+            let goal = Time(t.0 + 7 * DAY_NS);
+            let mut steps = 0u32;
+            while t < goal {
+                match s.next_transition(t) {
+                    Some(u) => t = u,
+                    None => break,
+                }
+                steps += 1;
+                // A 20 s duty cycle legitimately flips ~60k times per week;
+                // the failure mode guarded here is 1-ns uncertainty-fallback
+                // thrash, which would need billions of steps.
+                assert!(steps < 200_000, "{s:?}: transition chain too dense");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cycles_never_transition() {
+        let t = Time::from_secs(1234);
+        assert_eq!(Schedule::AlwaysOn.next_transition(t), None);
+        assert_eq!(
+            Schedule::DutyCycle {
+                on_s: 0,
+                off_s: 60,
+                seed: 1
+            }
+            .next_transition(t),
+            None
+        );
+        assert_eq!(
+            Schedule::DutyCycle {
+                on_s: 60,
+                off_s: 0,
+                seed: 1
+            }
+            .next_transition(t),
+            None
+        );
+    }
+
+    #[test]
+    fn lights_transition_lands_on_the_9pm_cut() {
+        // Weekday noon: the very next flip is the 21:00 lights-out step
+        // of Fig. 12, exactly on the boundary.
+        let u = Schedule::BuildingLights
+            .next_transition(at(0, 12.0))
+            .unwrap();
+        assert_eq!(u, at(0, 21.0));
+        // 22:00: nothing more today; next candidate is midnight.
+        let u = Schedule::BuildingLights
+            .next_transition(at(0, 22.0))
+            .unwrap();
+        assert_eq!(u, Time(DAY_NS));
     }
 
     #[test]

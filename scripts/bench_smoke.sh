@@ -8,9 +8,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== bench_channel (writes out/BENCH_channel.json) =="
+echo "== bench_channel smoke (writes out/BENCH_channel.json) =="
+# Tiny loops — the gate-relevant invariants (digest match, zero
+# allocations) still hold; run without ELECTRIFI_BENCH_SMOKE=1 for
+# gate-quality cold_rebuild_us timings.
 cargo build --release -q -p electrifi-bench --bin bench_channel
-./target/release/bench_channel
+ELECTRIFI_BENCH_SMOKE=1 ./target/release/bench_channel
 
 echo "== bench_mac smoke (writes out/BENCH_mac.json) =="
 # Short windows — fast enough for every change. Run the binary without

@@ -89,12 +89,14 @@ echo "== replay smoke (snapshot -> resume -> event-stream diff) =="
 cargo build --release -q -p electrifi-bench --bin replay
 ./target/release/replay selftest --out out/replay-smoke
 
-echo "== bench_mac smoke + perf gate (correctness invariants only) =="
-# Tiny windows: exercises the zero-alloc MAC loop and the bit-identity
-# digests on every change. Timing ratios are only gated by the full
-# (un-smoked) scripts/perf_gate.sh run.
-cargo build --release -q -p electrifi-bench --bin bench_mac
+echo "== bench smoke + perf gate (correctness invariants only) =="
+# Tiny windows: exercises the zero-alloc MAC loop, the zero-alloc PHY
+# spectrum hot path, and the bit-identity digests on every change.
+# Timing ratios are only gated by the full (un-smoked)
+# scripts/perf_gate.sh run.
+cargo build --release -q -p electrifi-bench --bin bench_mac --bin bench_channel
 ELECTRIFI_BENCH_SMOKE=1 ./target/release/bench_mac
+ELECTRIFI_BENCH_SMOKE=1 ./target/release/bench_channel
 ./scripts/perf_gate.sh --smoke
 
 echo "All checks passed."

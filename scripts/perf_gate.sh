@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression gate for the MAC hot loop.
+# Perf-regression gate for the MAC hot loop and the PHY spectrum kernels.
 #
 # Compares out/BENCH_mac.json (written by `bench_mac`) against the
 # checked-in baseline scripts/baselines/BENCH_mac.baseline.json and
@@ -16,6 +16,16 @@
 #     arms (observation must never perturb the simulation), or — full
 #     mode only — an enabled/disabled throughput ratio below 0.95
 #     (spans may cost at most 5% on the gated workload).
+#
+# It also compares out/BENCH_channel.json (written by `bench_channel`)
+# against scripts/baselines/BENCH_channel.baseline.json:
+#
+#   - the cached/reference spectrum digest tour must match (the SoA
+#     kernels must stay the bit-exact ground truth);
+#   - the warm path and the rebuild path must be allocation-free;
+#   - full mode only: cold_rebuild_us must stay under the 100 µs
+#     acceptance ceiling, and cold_rebuild_us / warm per-call /
+#     speedup may not regress >20% vs. the committed baseline.
 #
 # Ratios (speedup, hit rate) are compared, not absolute steps/sec —
 # absolute throughput varies with the host; ratios are self-normalizing
@@ -36,6 +46,8 @@ fi
 
 REPORT=out/BENCH_mac.json
 BASELINE=scripts/baselines/BENCH_mac.baseline.json
+CH_REPORT=out/BENCH_channel.json
+CH_BASELINE=scripts/baselines/BENCH_channel.baseline.json
 
 if [[ ! -f "$REPORT" ]]; then
     echo "perf_gate: $REPORT not found — run ./target/release/bench_mac first" >&2
@@ -45,8 +57,17 @@ if [[ ! -f "$BASELINE" ]]; then
     echo "perf_gate: baseline $BASELINE not found" >&2
     exit 1
 fi
+if [[ ! -f "$CH_REPORT" ]]; then
+    echo "perf_gate: $CH_REPORT not found — run ./target/release/bench_channel first" >&2
+    exit 1
+fi
+if [[ ! -f "$CH_BASELINE" ]]; then
+    echo "perf_gate: baseline $CH_BASELINE not found" >&2
+    exit 1
+fi
 
-MODE="$MODE" REPORT="$REPORT" BASELINE="$BASELINE" python3 - <<'PY'
+MODE="$MODE" REPORT="$REPORT" BASELINE="$BASELINE" \
+CH_REPORT="$CH_REPORT" CH_BASELINE="$CH_BASELINE" python3 - <<'PY'
 import json, os, sys
 
 mode = os.environ["MODE"]
@@ -54,6 +75,10 @@ with open(os.environ["REPORT"]) as f:
     rep = json.load(f)
 with open(os.environ["BASELINE"]) as f:
     base = json.load(f)
+with open(os.environ["CH_REPORT"]) as f:
+    ch = json.load(f)
+with open(os.environ["CH_BASELINE"]) as f:
+    ch_base = json.load(f)
 
 failures = []
 warnings = []
@@ -84,6 +109,22 @@ for section in ("mac_loop", "saturated"):
 check(rep["span_overhead"]["digest_match"],
       "span_overhead: digest mismatch — span tracing perturbed the "
       "simulation")
+
+# PHY spectrum kernels: the cached evaluator runs the chunked kernels,
+# the reference runs the scalar twins — the digest tour proves they
+# still agree bitwise. Both hot paths must stay off the heap.
+check(ch["digest_match"], "channel: digest mismatch — cached spectrum "
+      "diverged from the reference evaluator")
+ch_allocs = ch["warm"]["allocs_per_call"]
+check(ch_allocs == 0, f"channel: warm spectrum_at_phase_into performed "
+      f"{ch_allocs} heap allocation(s)/call; expected zero")
+rb_allocs = ch["cold_rebuild"]["allocs_per_rebuild"]
+check(rb_allocs == 0, f"channel: epoch rebuild performed {rb_allocs} "
+      f"heap allocation(s)/rebuild; expected zero")
+check(ch["cold_rebuild"]["rebuilds"]
+      == ch["cold_rebuild"]["iters"] * ch["cold_rebuild"]["reps"],
+      "channel: rebuild arm did not rebuild on every call — "
+      "cold_rebuild_us is not measuring the rebuild path")
 
 if mode == "smoke":
     print(f"perf_gate --smoke: digests match, optimized quiesced windows "
@@ -123,6 +164,35 @@ check(ratio >= SPAN_BUDGET,
       f"{SPAN_BUDGET:.2f} budget (spans cost more than 5%)")
 print(f"{'spans':>12}: enabled/disabled ratio {ratio:.3f} "
       f"(budget {SPAN_BUDGET:.2f})")
+
+# --- channel timing gates ----------------------------------------------
+# The epoch-rebuild ceiling is absolute by design: the acceptance
+# criterion is "tens of µs per 917-carrier rebuild", so a hard 100 µs
+# cap applies on top of the baseline ratio.
+REBUILD_CEILING_US = 100.0
+
+cur = ch["cold_rebuild_us"]
+check(cur <= REBUILD_CEILING_US,
+      f"channel: cold_rebuild_us {cur:.1f} exceeds the "
+      f"{REBUILD_CEILING_US:.0f} µs ceiling")
+ref = ch_base["cold_rebuild_us"]
+check(cur <= ref / TOL,
+      f"channel: cold_rebuild_us {cur:.1f} regressed >20% vs "
+      f"baseline {ref:.1f}")
+print(f"{'channel':>12}: cold rebuild {cur:.1f} µs "
+      f"(baseline {ref:.1f} µs, ceiling {REBUILD_CEILING_US:.0f} µs)")
+
+cur, ref = ch["warm"]["per_call_us"], ch_base["warm"]["per_call_us"]
+check(cur <= ref / TOL,
+      f"channel: warm per-call {cur:.2f} µs regressed >20% vs "
+      f"baseline {ref:.2f} µs")
+print(f"{'channel':>12}: warm per-call {cur:.2f} µs (baseline {ref:.2f} µs)")
+
+cur, ref = ch["speedup"], ch_base["speedup"]
+check(cur >= TOL * ref,
+      f"channel: speedup {cur:.1f}x regressed >20% vs baseline {ref:.1f}x")
+print(f"{'channel':>12}: cached/reference speedup {cur:.1f}x "
+      f"(baseline {ref:.1f}x)")
 
 # Absolute throughput is host-dependent: warn by default, gate only on
 # request (e.g. pinned CI hardware).

@@ -176,10 +176,22 @@ import json
 
 with open("out/BENCH_channel.json") as f:
     b = json.load(f)
-for k in ("speedup", "cache_hit_rate"):
+for k in ("speedup", "cache_hit_rate", "cold_rebuild_us"):
     if k in b:
         print(f"{k}={b[k]:.3g}", end="  ")
+if "digest_match" in b:
+    print(f"digest_match={b['digest_match']}", end="  ")
 print()
+warm = b.get("warm")
+if warm:
+    print(f"warm: per_call_us={warm['per_call_us']:.3g}  "
+          f"allocs_per_call={warm['allocs_per_call']:g}  "
+          f"key_skip_rate={warm['key_skip_rate']:.3g}")
+rb = b.get("cold_rebuild")
+if rb:
+    print(f"rebuild: cold_rebuild_us={rb['cold_rebuild_us']:.3g}  "
+          f"allocs_per_rebuild={rb['allocs_per_rebuild']:g}  "
+          f"rebuilds={rb['rebuilds']}")
 PY
 fi
 
