@@ -30,15 +30,38 @@
 //!
 //! Telemetry and tracing are strictly observational: `summary.json` and
 //! the per-run manifests are byte-identical with them on or off.
+//!
+//! Exit codes: 0 success, 2 bad usage / invalid campaign or scenario
+//! document, 3 filesystem I/O failure, 4 a run failed during execution.
 
 use electrifi_scenario::campaign::{validate_scenarios, write_artifacts, CampaignSpec};
 use electrifi_scenario::checkpoint::{run_campaign_monitored, CampaignOutcome, CheckpointOptions};
 use electrifi_scenario::telemetry::TelemetryOptions;
+use electrifi_scenario::ScenarioError;
 use electrifi_testbed::sweep;
 use simnet::obs::span::{self, SpanConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
+
+// Distinct exit codes so scripts can branch on *why* a campaign failed
+// (documented in README.md): 2 = bad usage or an invalid campaign /
+// scenario document, 3 = filesystem I/O, 4 = a run failed during
+// execution. 0 stays success, 1 is left to panics.
+const EXIT_USAGE: u8 = 2;
+const EXIT_IO: u8 = 3;
+const EXIT_RUN: u8 = 4;
+
+/// Map a scenario-layer error to the exit code taxonomy. `exec` says
+/// whether the error escaped from run execution (4) rather than from
+/// loading/validating documents (2); I/O is 3 in either phase.
+fn exit_for(e: &ScenarioError, exec: bool) -> ExitCode {
+    match e {
+        ScenarioError::Io { .. } => ExitCode::from(EXIT_IO),
+        _ if exec => ExitCode::from(EXIT_RUN),
+        _ => ExitCode::from(EXIT_USAGE),
+    }
+}
 
 struct Args {
     campaign: String,
@@ -63,7 +86,12 @@ const USAGE: &str = "usage: campaign <campaign.json> [--list] [--dry-run] \
                      [--progress FILE] [--progress-every SECS] [--follow FILE] \
                      [--trace FILE] [--trace-sample N]";
 
-fn parse_args() -> Result<Args, String> {
+enum ArgsOutcome {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args() -> Result<ArgsOutcome, String> {
     let mut campaign = None;
     let mut list = false;
     let mut dry_run = false;
@@ -88,9 +116,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--workers" => {
                 let raw = it.next().ok_or("--workers needs a positive integer")?;
-                workers = Some(sweep::parse_threads(&raw).map_err(|e| {
-                    format!("--workers: {}", e.replace(sweep::THREADS_ENV, "the value"))
-                })?);
+                workers = Some(
+                    simnet::threads::parse_worker_count("--workers", &raw)
+                        .map_err(|e| e.to_string())?,
+                );
             }
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
             "--checkpoint-every" => {
@@ -147,7 +176,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 trace_sample = n;
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--help" | "-h" => return Ok(ArgsOutcome::Help),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{USAGE}"));
             }
@@ -158,7 +187,7 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    Ok(Args {
+    Ok(ArgsOutcome::Run(Box::new(Args {
         campaign: campaign.ok_or_else(|| format!("no campaign file given\n{USAGE}"))?,
         list,
         dry_run,
@@ -173,7 +202,7 @@ fn parse_args() -> Result<Args, String> {
         follow,
         trace,
         trace_sample,
-    })
+    })))
 }
 
 fn write_trace(path: &PathBuf, report: &span::SpanReport) -> Result<(), String> {
@@ -212,17 +241,21 @@ fn print_top_spans(report: &span::SpanReport) {
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(ArgsOutcome::Run(a)) => a,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let spec = match CampaignSpec::from_file(&args.campaign) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("campaign: {e}");
-            return ExitCode::FAILURE;
+            return exit_for(&e, false);
         }
     };
     let runs: Vec<_> = spec
@@ -243,7 +276,7 @@ fn main() -> ExitCode {
                 .map(|f| format!(" filter {f:?}"))
                 .unwrap_or_default()
         );
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
 
     if args.list {
@@ -268,7 +301,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("campaign: {e}");
-                return ExitCode::FAILURE;
+                return exit_for(&e, false);
             }
         }
     }
@@ -332,7 +365,7 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign: {e}");
-            return ExitCode::FAILURE;
+            return exit_for(&e, true);
         }
     };
     if stats.resume_loads > 0 {
@@ -361,7 +394,7 @@ fn main() -> ExitCode {
     };
     if let Err(e) = write_artifacts(&summary, &args.out) {
         eprintln!("campaign: {e}");
-        return ExitCode::FAILURE;
+        return exit_for(&e, true);
     }
     if stats.writes > 0 || stats.resume_loads > 0 {
         eprintln!(

@@ -1,0 +1,271 @@
+//! `servectl`: command-line client for the `serve` control plane.
+//!
+//! ```text
+//! servectl (--unix PATH | --tcp ADDR) <command> [args]
+//!
+//! commands:
+//!   submit <campaign.json>     POST /campaigns, print the admission doc
+//!   list                       GET /campaigns
+//!   status <id>                GET /campaigns/:id
+//!   wait <id> [--timeout SECS] poll until the campaign is terminal
+//!   results <id>               GET /campaigns/:id/results -> stdout
+//!   manifest <id> <run>        GET /campaigns/:id/results?manifest=<run>
+//!   cancel <id>                POST /campaigns/:id/cancel
+//!   events <id> [--limit N] [--obs]  stream the live event feed
+//!   metrics                    GET /metrics
+//!   health                     GET /healthz
+//!   shutdown [--now]           POST /shutdown (drain by default)
+//! ```
+//!
+//! Exit codes: 0 success, 2 bad usage, 3 transport failure, 4 the
+//! server answered with an error status (or the awaited campaign
+//! finished failed/cancelled).
+
+use electrifi_serve::{Endpoint, HttpClient};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: servectl (--unix PATH | --tcp ADDR) \
+                     <submit|list|status|wait|results|manifest|cancel|events|metrics|health|shutdown> [args]";
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_TRANSPORT: u8 = 3;
+const EXIT_SERVER: u8 = 4;
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Print a response; 2xx exits 0, anything else exits 4.
+fn show(resp: &electrifi_serve::ClientResponse) -> ExitCode {
+    let text = resp.text();
+    if (200..300).contains(&resp.status) {
+        println!("{text}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("servectl: HTTP {}: {text}", resp.status);
+        ExitCode::from(EXIT_SERVER)
+    }
+}
+
+/// Like [`show`] but byte-exact: no trailing newline, so redirected
+/// results stay byte-identical to the server's artifacts.
+fn show_raw(resp: &electrifi_serve::ClientResponse) -> ExitCode {
+    use std::io::Write;
+    if (200..300).contains(&resp.status) {
+        let mut out = std::io::stdout();
+        if out
+            .write_all(&resp.body)
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("servectl: HTTP {}: {}", resp.status, resp.text());
+        ExitCode::from(EXIT_SERVER)
+    }
+}
+
+fn transport(e: std::io::Error) -> ExitCode {
+    eprintln!("servectl: transport error: {e}");
+    ExitCode::from(EXIT_TRANSPORT)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut endpoint = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--unix" => {
+                if i + 1 >= args.len() {
+                    return fail_usage("--unix needs a socket path");
+                }
+                endpoint = Some(Endpoint::Unix(PathBuf::from(args.remove(i + 1))));
+                args.remove(i);
+            }
+            "--tcp" => {
+                if i + 1 >= args.len() {
+                    return fail_usage("--tcp needs host:port");
+                }
+                endpoint = Some(Endpoint::Tcp(args.remove(i + 1)));
+                args.remove(i);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        return fail_usage("one of --unix or --tcp is required");
+    };
+    let client = HttpClient::new(endpoint);
+    let mut rest = args.into_iter();
+    let Some(command) = rest.next() else {
+        return fail_usage("no command given");
+    };
+    let rest: Vec<String> = rest.collect();
+    match command.as_str() {
+        "submit" => {
+            let Some(file) = rest.first() else {
+                return fail_usage("submit needs a campaign file");
+            };
+            let body = match std::fs::read(file) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("servectl: cannot read {file}: {e}");
+                    return ExitCode::from(EXIT_TRANSPORT);
+                }
+            };
+            match client.request("POST", "/campaigns", Some(&body)) {
+                Ok(resp) => show(&resp),
+                Err(e) => transport(e),
+            }
+        }
+        "list" => match client.request("GET", "/campaigns", None) {
+            Ok(resp) => show(&resp),
+            Err(e) => transport(e),
+        },
+        "status" => {
+            let Some(id) = rest.first() else {
+                return fail_usage("status needs a campaign id");
+            };
+            match client.request("GET", &format!("/campaigns/{id}"), None) {
+                Ok(resp) => show(&resp),
+                Err(e) => transport(e),
+            }
+        }
+        "wait" => {
+            let Some(id) = rest.first() else {
+                return fail_usage("wait needs a campaign id");
+            };
+            let mut timeout = Duration::from_secs(600);
+            if let Some(pos) = rest.iter().position(|a| a == "--timeout") {
+                let Some(raw) = rest.get(pos + 1) else {
+                    return fail_usage("--timeout needs seconds");
+                };
+                match raw.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => timeout = Duration::from_secs_f64(s),
+                    _ => return fail_usage("--timeout: must be positive seconds"),
+                }
+            }
+            let deadline = Instant::now() + timeout;
+            loop {
+                let resp = match client.request("GET", &format!("/campaigns/{id}"), None) {
+                    Ok(r) => r,
+                    Err(e) => return transport(e),
+                };
+                if resp.status != 200 {
+                    return show(&resp);
+                }
+                let text = resp.text();
+                for terminal in ["done", "failed", "cancelled"] {
+                    if text.contains(&format!("\"status\":\"{terminal}\"")) {
+                        println!("{text}");
+                        return if terminal == "done" {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::from(EXIT_SERVER)
+                        };
+                    }
+                }
+                if Instant::now() >= deadline {
+                    eprintln!("servectl: timed out waiting for {id}; last status: {text}");
+                    return ExitCode::from(EXIT_SERVER);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        "results" => {
+            let Some(id) = rest.first() else {
+                return fail_usage("results needs a campaign id");
+            };
+            match client.request("GET", &format!("/campaigns/{id}/results"), None) {
+                Ok(resp) => show_raw(&resp),
+                Err(e) => transport(e),
+            }
+        }
+        "manifest" => {
+            let (Some(id), Some(run)) = (rest.first(), rest.get(1)) else {
+                return fail_usage("manifest needs a campaign id and a run name");
+            };
+            match client.request(
+                "GET",
+                &format!("/campaigns/{id}/results?manifest={run}"),
+                None,
+            ) {
+                Ok(resp) => show_raw(&resp),
+                Err(e) => transport(e),
+            }
+        }
+        "cancel" => {
+            let Some(id) = rest.first() else {
+                return fail_usage("cancel needs a campaign id");
+            };
+            match client.request("POST", &format!("/campaigns/{id}/cancel"), None) {
+                Ok(resp) => show(&resp),
+                Err(e) => transport(e),
+            }
+        }
+        "events" => {
+            let Some(id) = rest.first() else {
+                return fail_usage("events needs a campaign id");
+            };
+            let mut query = Vec::new();
+            if let Some(pos) = rest.iter().position(|a| a == "--limit") {
+                let Some(raw) = rest.get(pos + 1) else {
+                    return fail_usage("--limit needs a positive integer");
+                };
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => query.push(format!("limit={n}")),
+                    _ => return fail_usage("--limit: must be a positive integer"),
+                }
+            }
+            if rest.iter().any(|a| a == "--obs") {
+                query.push("obs=1".to_string());
+            }
+            let path = if query.is_empty() {
+                format!("/campaigns/{id}/events")
+            } else {
+                format!("/campaigns/{id}/events?{}", query.join("&"))
+            };
+            match client.stream_lines(&path, |line| {
+                println!("{line}");
+                true
+            }) {
+                Ok(200) => ExitCode::SUCCESS,
+                Ok(status) => {
+                    eprintln!("servectl: HTTP {status}");
+                    ExitCode::from(EXIT_SERVER)
+                }
+                Err(e) => transport(e),
+            }
+        }
+        "metrics" => match client.request("GET", "/metrics", None) {
+            Ok(resp) => show(&resp),
+            Err(e) => transport(e),
+        },
+        "health" => match client.request("GET", "/healthz", None) {
+            Ok(resp) => show(&resp),
+            Err(e) => transport(e),
+        },
+        "shutdown" => {
+            let body = if rest.iter().any(|a| a == "--now") {
+                "{\"mode\":\"now\"}"
+            } else {
+                "{\"mode\":\"drain\"}"
+            };
+            match client.request("POST", "/shutdown", Some(body.as_bytes())) {
+                Ok(resp) => show(&resp),
+                Err(e) => transport(e),
+            }
+        }
+        other => fail_usage(&format!("unknown command {other:?}")),
+    }
+}

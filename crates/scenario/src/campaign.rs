@@ -248,6 +248,18 @@ impl CampaignSpec {
         }
         runs
     }
+
+    /// [`CampaignSpec::expand`] narrowed to runs whose name contains
+    /// `filter` (all runs when `None`). The CLI runner, the
+    /// checkpoint/resume runner and the serve control plane all build
+    /// their work lists through this one helper, so a job's digest-bound
+    /// work list is the same everywhere.
+    pub fn expand_filtered(&self, filter: Option<&str>) -> Vec<RunSpec> {
+        self.expand()
+            .into_iter()
+            .filter(|r| filter.is_none_or(|f| r.run_name.contains(f)))
+            .collect()
+    }
 }
 
 fn headline(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
@@ -339,14 +351,30 @@ fn run_probing(env: &PaperEnv, policy: ProbingPolicy, wl: &WorkloadSpec) -> Expe
 }
 
 /// Execute one run under a fresh [`Obs`]; the returned record carries
-/// the run's own metric snapshot.
-pub(crate) fn execute(run: &RunSpec, scenario: &ScenarioSpec) -> Result<RunRecord, ScenarioError> {
+/// the run's own metric snapshot. This is the unit of work every
+/// campaign surface shares — the CLI runner, checkpoint/resume and the
+/// serve control plane's worker pool all call it, which is what makes
+/// their outputs byte-identical.
+pub fn execute_run(run: &RunSpec, scenario: &ScenarioSpec) -> Result<RunRecord, ScenarioError> {
+    execute_run_with(run, scenario, Obs::new())
+}
+
+/// [`execute_run`] under a caller-supplied [`Obs`] — the handle must be
+/// **fresh** (its registry becomes the record's metric snapshot), but it
+/// may carry an event sink (e.g. a
+/// [`ChannelSink`](simnet::obs::ChannelSink) feeding live subscribers).
+/// Sinks are inert by the observability invariant, so the returned
+/// record is byte-identical with or without one.
+pub fn execute_run_with(
+    run: &RunSpec,
+    scenario: &ScenarioSpec,
+    obs: Obs,
+) -> Result<RunRecord, ScenarioError> {
     let setup_span = obs::span::enter("campaign.run_setup");
     let sc = Scenario::load_with_seed(scenario.clone(), run.seed)?;
     let env = PaperEnv::from_testbed(sc.testbed);
     drop(setup_span);
     let _span = obs::span::enter("campaign.run_execute");
-    let obs = Obs::new();
     let experiments = obs::with_default(obs.clone(), || {
         obs::current()
             .registry()
@@ -383,14 +411,10 @@ pub fn run_campaign(
     workers: usize,
     filter: Option<&str>,
 ) -> Result<CampaignSummary, ScenarioError> {
-    let runs: Vec<RunSpec> = spec
-        .expand()
-        .into_iter()
-        .filter(|r| filter.is_none_or(|f| r.run_name.contains(f)))
-        .collect();
+    let runs: Vec<RunSpec> = spec.expand_filtered(filter);
     let results: Vec<Result<RunRecord, ScenarioError>> =
         sweep::par_map_workers(&runs, workers, |_, run| {
-            execute(run, &spec.scenarios[run.scenario_index])
+            execute_run(run, &spec.scenarios[run.scenario_index])
         });
     let mut records = Vec::with_capacity(results.len());
     for r in results {
@@ -400,9 +424,10 @@ pub fn run_campaign(
 }
 
 /// Assemble the campaign summary from per-run records in expansion
-/// order. Shared by the straight-through runner and the
-/// checkpoint/resume runner so both produce byte-identical output.
-pub(crate) fn summarize(
+/// order. Shared by the straight-through runner, the checkpoint/resume
+/// runner and the serve control plane so all of them produce
+/// byte-identical output.
+pub fn summarize(
     spec: &CampaignSpec,
     runs: &[RunSpec],
     records: Vec<RunRecord>,

@@ -21,7 +21,7 @@
 //! never in the per-run snapshots — otherwise a resumed summary could
 //! not be byte-identical to a straight-through one.
 
-use crate::campaign::{execute, summarize, CampaignSpec, CampaignSummary, RunRecord, RunSpec};
+use crate::campaign::{execute_run, summarize, CampaignSpec, CampaignSummary, RunRecord, RunSpec};
 use crate::error::ScenarioError;
 use crate::telemetry::{Telemetry, TelemetryOptions};
 use electrifi_state::{SnapshotReader, SnapshotWriter, StateError};
@@ -84,7 +84,12 @@ fn state_to_scenario(path: &Path, e: StateError) -> ScenarioError {
     }
 }
 
-fn write_checkpoint(
+/// Write a campaign checkpoint holding `records` (the completed prefix,
+/// or any completed subset — the reader only checks the count) for the
+/// work list identified by `digest`/`total`. Returns the bytes written.
+/// Public so the serve control plane can checkpoint its jobs through
+/// the exact same snapshot framing the CLI uses.
+pub fn write_checkpoint(
     path: &Path,
     digest: &str,
     total: usize,
@@ -120,7 +125,16 @@ pub fn load_checkpoint(
     let _span = obs::span::enter("state.checkpoint_load");
     let path = dir.join(CHECKPOINT_FILE);
     let snap = SnapshotReader::read_from_file(&path).map_err(|e| state_to_scenario(&path, e))?;
-    let to_err = |e: StateError| state_to_scenario(&path, e);
+    decode_checkpoint(&snap, &path, expected_digest, total)
+}
+
+fn decode_checkpoint(
+    snap: &SnapshotReader,
+    path: &Path,
+    expected_digest: &str,
+    total: usize,
+) -> Result<Vec<RunRecord>, ScenarioError> {
+    let to_err = |e: StateError| state_to_scenario(path, e);
     let mut meta = snap.section("campaign.meta").map_err(to_err)?;
     let digest = meta.get_str().map_err(to_err)?.to_string();
     let stored_total = meta.get_u64().map_err(to_err)? as usize;
@@ -161,6 +175,59 @@ pub fn load_checkpoint(
     Ok(records)
 }
 
+/// What a recovery path found when it went looking for a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointState {
+    /// No checkpoint file exists (nothing was ever written, or a
+    /// completed campaign already removed it).
+    Absent,
+    /// A valid checkpoint for exactly this work list.
+    Loaded(Vec<RunRecord>),
+    /// A file exists but its **data** is unusable: damaged bytes
+    /// ([`StateError::is_data_damage`]), undecodable records, or a
+    /// digest/work-list mismatch. Recovery discards it and re-executes —
+    /// deterministic runs make redoing work always safe.
+    Damaged {
+        /// Why the checkpoint was rejected.
+        reason: String,
+    },
+}
+
+/// [`load_checkpoint`] for recovery paths (serve worker-death
+/// re-admission) that must distinguish "no checkpoint yet" and
+/// "checkpoint damaged — redo the work" from environmental failures:
+/// only genuine I/O errors surface as `Err`, everything else is a
+/// [`CheckpointState`] the caller can act on without aborting.
+pub fn load_checkpoint_classified(
+    dir: &Path,
+    expected_digest: &str,
+    total: usize,
+) -> Result<CheckpointState, ScenarioError> {
+    let _span = obs::span::enter("state.checkpoint_load");
+    let path = dir.join(CHECKPOINT_FILE);
+    if !path.exists() {
+        return Ok(CheckpointState::Absent);
+    }
+    let snap = match SnapshotReader::read_from_file(&path) {
+        Ok(snap) => snap,
+        Err(e) if e.is_data_damage() => {
+            return Ok(CheckpointState::Damaged {
+                reason: e.to_string(),
+            })
+        }
+        Err(e) => return Err(state_to_scenario(&path, e)),
+    };
+    match decode_checkpoint(&snap, &path, expected_digest, total) {
+        Ok(records) => Ok(CheckpointState::Loaded(records)),
+        // Decode failures on a frame-valid snapshot are still data
+        // problems (stale digest, malformed record JSON), never
+        // environmental: the caller redoes the work.
+        Err(e) => Ok(CheckpointState::Damaged {
+            reason: e.to_string(),
+        }),
+    }
+}
+
 /// Run (a filtered subset of) a campaign with checkpoint/resume.
 ///
 /// Execution proceeds in waves of `workers` runs; after each wave the
@@ -196,11 +263,7 @@ pub fn run_campaign_monitored(
     opts: &CheckpointOptions,
     telemetry: &TelemetryOptions,
 ) -> Result<(CampaignOutcome, CheckpointStats), ScenarioError> {
-    let runs: Vec<RunSpec> = spec
-        .expand()
-        .into_iter()
-        .filter(|r| filter.is_none_or(|f| r.run_name.contains(f)))
-        .collect();
+    let runs: Vec<RunSpec> = spec.expand_filtered(filter);
     let digest = config_digest(&runs.as_slice());
     let ambient = obs::current();
     let reg = ambient.registry();
@@ -253,7 +316,7 @@ pub fn run_campaign_monitored(
         // 1 and the wave-local index doubles as the worker lane.
         let results = sweep::par_map_workers(wave, workers, |i, run| {
             let started = Instant::now();
-            let result = execute(run, &spec.scenarios[run.scenario_index]);
+            let result = execute_run(run, &spec.scenarios[run.scenario_index]);
             if let Some(m) = &monitor {
                 m.run_done(
                     done + i,

@@ -41,10 +41,12 @@ pub mod spec;
 pub mod telemetry;
 
 pub use campaign::{
-    run_campaign, validate_scenarios, write_artifacts, CampaignSpec, CampaignSummary, RunRecord,
+    execute_run, execute_run_with, run_campaign, summarize, validate_scenarios, write_artifacts,
+    CampaignSpec, CampaignSummary, RunRecord, RunSpec,
 };
 pub use checkpoint::{
-    run_campaign_checkpointed, CampaignOutcome, CheckpointOptions, CheckpointStats, CHECKPOINT_FILE,
+    load_checkpoint_classified, run_campaign_checkpointed, write_checkpoint, CampaignOutcome,
+    CheckpointOptions, CheckpointState, CheckpointStats, CHECKPOINT_FILE,
 };
 pub use error::ScenarioError;
 pub use loader::Scenario;

@@ -1,0 +1,264 @@
+//! Minimal blocking HTTP client for the control plane.
+//!
+//! `servectl`, the check.sh smoke and the integration tests all talk to
+//! the server through this — one connection per request (the server
+//! closes after each response), fixed-length and chunked bodies, TCP or
+//! unix-socket transport. Not a general HTTP client: exactly the subset
+//! the serve wire protocol (DESIGN.md §12) emits.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix domain socket path.
+    Unix(PathBuf),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A completed exchange.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The full (de-chunked if necessary) body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Blocking one-request-per-connection client.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    endpoint: Endpoint,
+}
+
+impl HttpClient {
+    /// Client for `endpoint`.
+    pub fn new(endpoint: Endpoint) -> Self {
+        HttpClient { endpoint }
+    }
+
+    fn connect(&self) -> io::Result<Conn> {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+        }
+    }
+
+    /// Perform one request and read the whole response.
+    pub fn request(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let mut conn = self.connect()?;
+        write_request_head(
+            &mut conn,
+            method,
+            path_and_query,
+            body.map_or(0, <[u8]>::len),
+        )?;
+        if let Some(body) = body {
+            conn.write_all(body)?;
+        }
+        conn.flush()?;
+        let mut reader = BufReader::new(conn);
+        let (status, headers) = read_response_head(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// GET a chunked line stream (the `/events` endpoint), invoking
+    /// `on_line` per line; return `false` from the callback to stop
+    /// early. Returns the response status.
+    pub fn stream_lines(
+        &self,
+        path_and_query: &str,
+        mut on_line: impl FnMut(&str) -> bool,
+    ) -> io::Result<u16> {
+        let mut conn = self.connect()?;
+        write_request_head(&mut conn, "GET", path_and_query, 0)?;
+        conn.flush()?;
+        let mut reader = BufReader::new(conn);
+        let (status, headers) = read_response_head(&mut reader)?;
+        if status != 200 {
+            // Error documents are small fixed-length bodies; drain them so
+            // the caller can't confuse framing with payload.
+            let _ = read_body(&mut reader, &headers)?;
+            return Ok(status);
+        }
+        let mut pending = String::new();
+        let mut chunk = Vec::new();
+        while read_chunk(&mut reader, &mut chunk)? {
+            pending.push_str(&String::from_utf8_lossy(&chunk));
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                let line = line.trim_end();
+                if !line.is_empty() && !on_line(line) {
+                    return Ok(status);
+                }
+            }
+        }
+        if !pending.trim().is_empty() {
+            on_line(pending.trim());
+        }
+        Ok(status)
+    }
+}
+
+fn write_request_head(
+    conn: &mut impl Write,
+    method: &str,
+    path_and_query: &str,
+    content_length: usize,
+) -> io::Result<()> {
+    write!(
+        conn,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: electrifi-serve\r\nConnection: close\r\n"
+    )?;
+    if content_length > 0 {
+        write!(conn, "Content-Length: {content_length}\r\n")?;
+        write!(conn, "Content-Type: application/json\r\n")?;
+    }
+    conn.write_all(b"\r\n")
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_response_head(reader: &mut impl BufRead) -> io::Result<(u16, Vec<(String, String)>)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("not an HTTP response: {line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| bad(format!("bad status line: {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    if header(headers, "transfer-encoding").is_some_and(|v| v.contains("chunked")) {
+        let mut body = Vec::new();
+        let mut chunk = Vec::new();
+        while read_chunk(reader, &mut chunk)? {
+            body.extend_from_slice(&chunk);
+        }
+        return Ok(body);
+    }
+    match header(headers, "content-length") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| bad(format!("bad Content-Length {v:?}")))?;
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            Ok(body)
+        }
+        None => {
+            // Connection: close framing — read to EOF.
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            Ok(body)
+        }
+    }
+}
+
+/// Read one chunk into `out`; `Ok(false)` on the terminating chunk.
+fn read_chunk(reader: &mut impl BufRead, out: &mut Vec<u8>) -> io::Result<bool> {
+    let mut size_line = String::new();
+    reader.read_line(&mut size_line)?;
+    let size_text = size_line.trim();
+    if size_text.is_empty() {
+        return Err(bad("missing chunk size"));
+    }
+    let size = usize::from_str_radix(size_text.split(';').next().unwrap_or_default(), 16)
+        .map_err(|_| bad(format!("bad chunk size {size_text:?}")))?;
+    if size == 0 {
+        // Trailing CRLF after the last chunk (no trailers emitted).
+        let mut end = String::new();
+        let _ = reader.read_line(&mut end);
+        return Ok(false);
+    }
+    out.clear();
+    out.resize(size, 0);
+    reader.read_exact(out)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(bad("chunk not CRLF-terminated"));
+    }
+    Ok(true)
+}

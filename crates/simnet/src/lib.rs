@@ -25,6 +25,8 @@
 //! * [`trace`] — time-series capture utilities for experiment outputs.
 //! * [`obs`] — sim-time observability: a metrics registry, a structured
 //!   event log, and run manifests, guaranteed never to perturb a run.
+//! * [`threads`] — validated worker-count parsing (`ELECTRIFI_THREADS`,
+//!   `--workers`) with typed errors naming the misconfigured source.
 //!
 //! The design follows the smoltcp idiom: synchronous, event-driven,
 //! allocation-conscious, with no async runtime — the whole system is a
@@ -42,6 +44,7 @@ pub mod obs;
 pub mod rng;
 pub mod schedule;
 pub mod stats;
+pub mod threads;
 pub mod time;
 pub mod trace;
 pub mod traffic;

@@ -580,6 +580,67 @@ impl<W: io::Write> ObsSink for JsonlSink<W> {
     }
 }
 
+/// A sink that forwards events into a bounded [`std::sync::mpsc`]
+/// channel, letting another thread subscribe to a simulation's event
+/// stream **live** — the subscription hook a serving layer streams to
+/// its clients.
+///
+/// The send is [`try_send`](std::sync::mpsc::SyncSender::try_send):
+/// when the subscriber falls behind and the channel fills, events are
+/// **dropped and counted**, never blocking the simulation — the
+/// inertness invariant extends to back-pressure. Read the loss via
+/// [`ChannelSink::dropped`] (or [`ObsSink::error_count`], which runners
+/// already surface at flush time).
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: std::sync::mpsc::SyncSender<ObsEvent>,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl ChannelSink {
+    /// Sink forwarding into `tx`. Create the channel with
+    /// [`std::sync::mpsc::sync_channel`] sized to the burst the
+    /// subscriber can absorb.
+    pub fn new(tx: std::sync::mpsc::SyncSender<ObsEvent>) -> Self {
+        ChannelSink {
+            tx,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Bounded channel of capacity `cap` plus a sink feeding it.
+    pub fn bounded(cap: usize) -> (Self, std::sync::mpsc::Receiver<ObsEvent>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Self::new(tx), rx)
+    }
+
+    /// Events successfully handed to the channel.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Events dropped because the channel was full (or the subscriber
+    /// hung up).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl ObsSink for ChannelSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        match self.tx.try_send(ev.clone()) {
+            Ok(()) => self.forwarded += 1,
+            Err(_) => self.dropped += 1,
+        }
+    }
+
+    fn error_count(&self) -> u64 {
+        self.dropped
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The Obs handle
 // ---------------------------------------------------------------------------
@@ -960,6 +1021,33 @@ mod tests {
         ok.emit(Time(1), "c", "k", Vec::new);
         assert_eq!(ok.flush(), 0);
         assert_eq!(Obs::disabled().flush(), 0);
+    }
+
+    #[test]
+    fn channel_sink_streams_without_blocking() {
+        let (sink, rx) = ChannelSink::bounded(2);
+        let sink = Rc::new(RefCell::new(sink));
+        let obs = Obs::with_sink_handle(sink.clone());
+        // Three events into a 2-slot channel with no reader: the third
+        // is dropped, not blocked on.
+        for t in 0..3 {
+            obs.emit(Time(t), "c", "k", Vec::new);
+        }
+        assert_eq!(sink.borrow().forwarded(), 2);
+        assert_eq!(sink.borrow().dropped(), 1);
+        assert_eq!(obs.flush(), 1);
+        // The subscriber sees the two forwarded events, in order.
+        let got: Vec<ObsEvent> = rx.try_iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].t, Time(0));
+        assert_eq!(got[1].t, Time(1));
+        // Once drained, new events flow again.
+        obs.emit(Time(9), "c", "k", Vec::new);
+        assert_eq!(rx.try_iter().count(), 1);
+        // A hung-up subscriber turns every send into a counted drop.
+        drop(rx);
+        obs.emit(Time(10), "c", "k", Vec::new);
+        assert_eq!(sink.borrow().dropped(), 2);
     }
 
     #[test]

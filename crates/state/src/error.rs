@@ -72,6 +72,18 @@ impl StateError {
         }
     }
 
+    /// True when the error means the snapshot **bytes** are unusable —
+    /// wrong magic, newer format, truncated, checksum-failed, missing or
+    /// malformed sections — as opposed to an environmental I/O failure.
+    ///
+    /// Recovery paths branch on this: a damaged checkpoint is discarded
+    /// and the work is redone from scratch (deterministic re-execution
+    /// makes that safe), while an I/O error is surfaced — retrying or
+    /// redoing work cannot fix a vanished disk.
+    pub fn is_data_damage(&self) -> bool {
+        !matches!(self, StateError::Io { .. })
+    }
+
     /// The section this error concerns, if it names one.
     pub fn section(&self) -> Option<&str> {
         match self {

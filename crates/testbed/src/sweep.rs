@@ -26,34 +26,25 @@
 use simnet::obs::span::{self, SpanReport};
 use simnet::obs::{self, MetricsSnapshot, Obs};
 
-/// Environment variable overriding the sweep worker count.
-pub const THREADS_ENV: &str = "ELECTRIFI_THREADS";
+/// Environment variable overriding the sweep worker count (re-exported
+/// from [`simnet::threads`], the one validated parser every worker-count
+/// surface shares).
+pub const THREADS_ENV: &str = simnet::threads::THREADS_ENV;
 
 /// Parse an `ELECTRIFI_THREADS` value: a positive integer worker count.
 /// `0`, empty strings and garbage are rejected with an actionable
-/// message.
+/// message. Thin `String`-error wrapper over
+/// [`simnet::threads::parse_worker_count`] for existing callers; new
+/// code should use the typed helper directly.
 pub fn parse_threads(raw: &str) -> Result<usize, String> {
-    let trimmed = raw.trim();
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(format!(
-            "{THREADS_ENV} must be a positive worker count, got \"0\" \
-             (unset the variable to use all cores, or set 1 to force sequential sweeps)"
-        )),
-        Ok(n) => Ok(n),
-        Err(_) => Err(format!(
-            "{THREADS_ENV} must be a positive integer worker count, got {trimmed:?}"
-        )),
-    }
+    simnet::threads::parse_worker_count(THREADS_ENV, raw).map_err(|e| e.to_string())
 }
 
 /// The worker count configured via `ELECTRIFI_THREADS`: `Ok(None)` when
 /// the variable is unset, `Ok(Some(n))` for a valid value, `Err` with a
 /// clear message for an invalid one.
 pub fn threads_from_env() -> Result<Option<usize>, String> {
-    match std::env::var(THREADS_ENV) {
-        Err(_) => Ok(None),
-        Ok(v) => parse_threads(&v).map(Some),
-    }
+    simnet::threads::worker_count_from_env().map_err(|e| e.to_string())
 }
 
 /// Number of workers a sweep over `n_items` items would use.

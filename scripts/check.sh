@@ -89,6 +89,73 @@ echo "== replay smoke (snapshot -> resume -> event-stream diff) =="
 cargo build --release -q -p electrifi-bench --bin replay
 ./target/release/replay selftest --out out/replay-smoke
 
+echo "== serve smoke (control plane: submit -> poll -> fetch == CLI bytes) =="
+cargo build --release -q -p electrifi-bench --bin serve --bin servectl
+SERVE_SOCK="out/serve-smoke/ctl.sock"
+rm -rf out/serve-smoke
+./target/release/serve --unix "$SERVE_SOCK" --out out/serve-smoke \
+    --scenario-root . --workers 2 --shard-size 1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "serve did not come up"; exit 1; }
+SUBMIT=$(./target/release/servectl --unix "$SERVE_SOCK" submit scenarios/smoke-campaign.json)
+echo "$SUBMIT"
+JOB=$(python3 -c "import json,sys; print(json.loads(sys.argv[1])['id'])" "$SUBMIT")
+./target/release/servectl --unix "$SERVE_SOCK" wait "$JOB" --timeout 300 > /dev/null
+./target/release/servectl --unix "$SERVE_SOCK" results "$JOB" > out/serve-smoke/served-summary.json
+# The control plane's summary must be byte-identical to the CLI's for
+# the very same campaign file (written by the campaign smoke above).
+cmp out/smoke-campaign/summary.json out/serve-smoke/served-summary.json
+./target/release/servectl --unix "$SERVE_SOCK" events "$JOB" --limit 5 > /dev/null
+./target/release/servectl --unix "$SERVE_SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+trap - EXIT
+
+echo "== serve killed-worker smoke (death -> resume -> identical bytes) =="
+# Arm the one-shot injected worker death on the second run; the shard is
+# re-admitted, resumed from its checkpoint, and the summary must still
+# match the CLI byte-for-byte.
+KILL_RUN=$(./target/release/campaign scenarios/smoke-campaign.json --list | sed -n 2p)
+rm -rf out/serve-kill
+ELECTRIFI_SERVE_KILL_RUN="$KILL_RUN" ./target/release/serve \
+    --unix out/serve-kill/ctl.sock --out out/serve-kill \
+    --scenario-root . --workers 2 --shard-size 1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S out/serve-kill/ctl.sock ] && break; sleep 0.1; done
+SUBMIT=$(./target/release/servectl --unix out/serve-kill/ctl.sock submit scenarios/smoke-campaign.json)
+JOB=$(python3 -c "import json,sys; print(json.loads(sys.argv[1])['id'])" "$SUBMIT")
+./target/release/servectl --unix out/serve-kill/ctl.sock wait "$JOB" --timeout 300 > /dev/null
+./target/release/servectl --unix out/serve-kill/ctl.sock results "$JOB" > out/serve-kill/served-summary.json
+cmp out/smoke-campaign/summary.json out/serve-kill/served-summary.json
+./target/release/servectl --unix out/serve-kill/ctl.sock metrics > out/serve-kill/metrics.json
+python3 - <<'PY'
+import json
+m = json.load(open("out/serve-kill/metrics.json"))
+c = dict((k, v) for k, v in m["counters"])
+assert c.get("serve.workers.deaths", 0) >= 1, f"injected death not recorded: {c}"
+assert c.get("serve.workers.shards_requeued", 0) >= 1, f"no shard requeued: {c}"
+assert c.get("serve.queue.completed", 0) == 1, f"job did not complete: {c}"
+print(f"killed-worker recovery OK: {c['serve.workers.deaths']} death(s), "
+      f"{c['serve.workers.shards_requeued']} shard(s) requeued, "
+      f"{c.get('serve.workers.runs_resumed', 0)} run(s) resumed from checkpoint")
+PY
+./target/release/servectl --unix out/serve-kill/ctl.sock shutdown > /dev/null
+wait "$SERVE_PID"
+trap - EXIT
+
+echo "== campaign exit codes (usage=2, io=3) =="
+set +e
+./target/release/campaign --workers 0 scenarios/smoke-campaign.json 2>/dev/null; RC_USAGE=$?
+./target/release/campaign no-such-campaign.json 2>/dev/null; RC_IO=$?
+./target/release/campaign --help > /dev/null; RC_HELP=$?
+set -e
+[ "$RC_USAGE" -eq 2 ] || { echo "--workers 0 must exit 2, got $RC_USAGE"; exit 1; }
+[ "$RC_IO" -eq 3 ] || { echo "missing campaign file must exit 3, got $RC_IO"; exit 1; }
+[ "$RC_HELP" -eq 0 ] || { echo "--help must exit 0, got $RC_HELP"; exit 1; }
+echo "exit codes OK: usage=2 io=3 help=0"
+
 echo "== bench smoke + perf gate (correctness invariants only) =="
 # Tiny windows: exercises the zero-alloc MAC loop, the zero-alloc PHY
 # spectrum hot path, and the bit-identity digests on every change.

@@ -95,6 +95,47 @@ else
   echo "== campaigns ==  (none found under out/*/)"
 fi
 
+# --- serve control plane -----------------------------------------------
+# The serve binary periodically (and on shutdown) writes
+# out/<dir>/server.metrics.json in the standard MetricsSnapshot shape:
+# queue admission/completion counters, stream backpressure drops, and
+# worker lifecycle (deaths, shards requeued, runs resumed from
+# checkpoint).
+if compgen -G "out/**/server.metrics.json" > /dev/null || compgen -G "out/*/server.metrics.json" > /dev/null; then
+  echo "== serve control plane =="
+  python3 - <<'PY'
+import glob, json
+
+for path in sorted(set(glob.glob("out/*/server.metrics.json")
+                       + glob.glob("out/**/server.metrics.json", recursive=True))):
+    try:
+        with open(path) as f:
+            m = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: unreadable ({e})")
+        continue
+    c = dict(m.get("counters", []))
+    g = dict(m.get("gauges", []))
+    print(f"{path}:")
+    print(f"  queue: submitted={c.get('serve.queue.submitted', 0)}"
+          f"  completed={c.get('serve.queue.completed', 0)}"
+          f"  failed={c.get('serve.queue.failed', 0)}"
+          f"  cancelled={c.get('serve.queue.cancelled', 0)}"
+          f"  rejected_full={c.get('serve.queue.rejected_full', 0)}"
+          f"  depth={g.get('serve.queue.depth', 0):.0f}")
+    print(f"  stream: events={c.get('serve.stream.events', 0)}"
+          f"  subscribers={c.get('serve.stream.subscribers', 0)}"
+          f"  dropped={c.get('serve.stream.dropped', 0)}")
+    print(f"  workers: spawned={c.get('serve.workers.spawned', 0)}"
+          f"  deaths={c.get('serve.workers.deaths', 0)}"
+          f"  shards_requeued={c.get('serve.workers.shards_requeued', 0)}"
+          f"  runs_executed={c.get('serve.workers.runs_executed', 0)}"
+          f"  runs_resumed={c.get('serve.workers.runs_resumed', 0)}")
+PY
+else
+  echo "== serve control plane ==  (no server.metrics.json under out/)"
+fi
+
 # --- perf benchmarks ---------------------------------------------------
 # bench_mac writes out/BENCH_mac.json: reference vs optimized MAC
 # stepper (steps/s, heap allocations per steady-state window, digest
