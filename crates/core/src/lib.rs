@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod ensemble;
 pub mod env;
 pub mod experiments;
 pub mod guidelines;

@@ -1,0 +1,174 @@
+//! Batched multi-sim stepping: many [`PlcSim`]s through one time wheel.
+//!
+//! A campaign-scale workload is an ensemble of *independent* links —
+//! hundreds of probing sims, most of them idle between probe arrivals.
+//! Stepping them round-robin (`for t in chunks { for sim { sim.run_until(t) } }`)
+//! pays two structural costs per chunk that have nothing to do with MAC
+//! work: a boundary step per sim per chunk (even for sims with nothing
+//! to do until far later) and a cold traversal of every sim struct
+//! every chunk. [`PlcBatch`] removes both: a shared
+//! [`simnet::wheel::TimeWheel`] schedules each sim at the epoch of its
+//! next pending work, so a quiesced sim costs nothing until its cached
+//! next-arrival epoch comes due, and the sims advanced in an epoch are
+//! exactly the ones with work in it.
+//!
+//! # Bit-identity
+//!
+//! The batch stepper never re-implements MAC semantics. It advances a
+//! member by slicing the sim's own `while now < end { step(end) }`
+//! loop at epoch boundaries, passing the *same* final `end` to every
+//! [`PlcSim::step`] call. `step(end)` depends only on sim state and
+//! `end`, so the concatenated slices replay exactly the step sequence
+//! of a continuous [`PlcSim::run_until`] call: same delivered packets,
+//! same RNG draws, same metrics counters, same `Persist` snapshot
+//! bytes. `tests/batch_identity.rs` proves this property over
+//! arbitrary flow mixes, batch sizes, epoch widths and cut points, the
+//! same way `reference.rs` gates the optimized per-sim loop.
+
+use crate::sim::PlcSim;
+use simnet::time::{Duration, Time};
+use simnet::wheel::{Lockstep, LockstepSim};
+
+impl LockstepSim for PlcSim {
+    fn wake(&self) -> Time {
+        // The sim's clock *is* its earliest pending work: `step`
+        // resolves what actually happens at/after `now` (idle-skip
+        // included), and anything earlier has already been stepped.
+        self.now()
+    }
+
+    fn advance(&mut self, horizon: Time, end: Time) -> Option<Time> {
+        // Same loop as `run_until(end)`, stopped at the epoch horizon.
+        // `end` — not `horizon` — is what each step sees, which is the
+        // whole bit-identity argument (see module docs).
+        while self.now < horizon {
+            self.step(end);
+        }
+        // A PlcSim never finishes on its own; the caller decides when
+        // to stop scheduling it.
+        Some(self.now)
+    }
+}
+
+/// An ensemble of [`PlcSim`]s advancing in lockstep epochs.
+///
+/// Thin facade over [`simnet::wheel::Lockstep`] fixing the member type
+/// and defaulting the epoch to the MAC's natural 10 ms beat. Outputs
+/// (delivered packets, tx counts, sniffer records) stay inside each
+/// member; drain them via [`sims_mut`](PlcBatch::sims_mut) between
+/// [`run_until`](PlcBatch::run_until) calls.
+pub struct PlcBatch {
+    inner: Lockstep<PlcSim>,
+}
+
+impl PlcBatch {
+    /// Batch over `sims` with the default 10 ms epoch.
+    pub fn new(sims: Vec<PlcSim>) -> Self {
+        PlcBatch {
+            inner: Lockstep::new(sims),
+        }
+    }
+
+    /// Batch over `sims` with an explicit epoch width (must be > 0).
+    pub fn with_epoch(sims: Vec<PlcSim>, epoch: Duration) -> Self {
+        PlcBatch {
+            inner: Lockstep::with_epoch(sims, epoch),
+        }
+    }
+
+    /// Number of member sims.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the batch has no members.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Advance every member to `end`, bit-identically to calling
+    /// `run_until(end)` on each member serially.
+    pub fn run_until(&mut self, end: Time) {
+        self.inner.run_until(end);
+    }
+
+    /// The member sims.
+    pub fn sims(&self) -> &[PlcSim] {
+        self.inner.sims()
+    }
+
+    /// Mutable members, for draining outputs between runs.
+    pub fn sims_mut(&mut self) -> &mut [PlcSim] {
+        self.inner.sims_mut()
+    }
+
+    /// Consume the batch and hand the members back.
+    pub fn into_sims(self) -> Vec<PlcSim> {
+        self.inner.into_sims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Flow, SimConfig};
+    use simnet::grid::Grid;
+    use simnet::traffic::{TrafficPattern, TrafficSource};
+
+    fn make_sim(seed: u64, rate_bps: f64) -> PlcSim {
+        let mut g = Grid::new();
+        let j = g.add_junction("j0");
+        let o1 = g.add_outlet("s0");
+        let o2 = g.add_outlet("s1");
+        g.connect(j, o1, 3.0);
+        g.connect(j, o2, 7.0);
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
+        let mut sim = PlcSim::new(cfg, &g, &[(0, o1), (1, o2)]);
+        let source = TrafficSource::new(
+            TrafficPattern::Cbr {
+                rate_bps,
+                pkt_bytes: 1300,
+            },
+            Time::ZERO,
+        );
+        sim.add_flow(Flow::unicast(0, 1, source));
+        sim
+    }
+
+    fn trace(sim: &mut PlcSim) -> (Time, Vec<(u64, u64, u64)>) {
+        let d = sim
+            .take_delivered(0)
+            .into_iter()
+            .map(|p| (p.seq, p.created.as_nanos(), p.delivered.as_nanos()))
+            .collect();
+        (sim.now(), d)
+    }
+
+    /// Ten sims batched == the same ten sims run serially, down to the
+    /// delivered-packet traces. The exhaustive version (arbitrary
+    /// mixes, obs counters, snapshot bytes at random cuts) lives in
+    /// tests/batch_identity.rs.
+    #[test]
+    fn batched_matches_serial_smoke() {
+        let end = Time::from_millis(300);
+        let serial: Vec<_> = (0..10)
+            .map(|i| {
+                let mut sim = make_sim(0xBA7C + i, 200_000.0 + 70_000.0 * i as f64);
+                sim.run_until(end);
+                trace(&mut sim)
+            })
+            .collect();
+        let mut batch = PlcBatch::new(
+            (0..10)
+                .map(|i| make_sim(0xBA7C + i, 200_000.0 + 70_000.0 * i as f64))
+                .collect(),
+        );
+        batch.run_until(end);
+        for (i, sim) in batch.sims_mut().iter_mut().enumerate() {
+            assert_eq!(trace(sim), serial[i], "sim {i} diverged");
+        }
+    }
+}

@@ -847,7 +847,12 @@ impl PlcSim {
         next
     }
 
-    fn step(&mut self, end: Time) {
+    /// One event step toward `end`. Crate-visible so the batch engine
+    /// (`batch.rs`) can slice a run at epoch boundaries: `step(end)`
+    /// depends only on the sim's state and the *final* horizon, so any
+    /// slicing of the `while now < end` loop replays the exact same
+    /// step sequence — the bit-identity the batch stepper is gated on.
+    pub(crate) fn step(&mut self, end: Time) {
         self.metrics.steps.inc();
         self.metrics.events_fired.inc();
         self.now = Self::skip_beacon_region(self.now);

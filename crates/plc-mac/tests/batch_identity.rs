@@ -1,0 +1,356 @@
+//! Differential bit-identity suite for the batched stepper
+//! ([`plc_mac::PlcBatch`]): an ensemble advanced through the shared
+//! time wheel must be indistinguishable — byte for byte — from the
+//! same sims advanced serially, one `run_until` at a time.
+//!
+//! Three observables are compared, over arbitrary flow mixes, batch
+//! sizes, epoch widths and run_until cut sequences:
+//!
+//! * the full per-sim digest (delivered packets, tx counts, drops,
+//!   BLE bit patterns, PB counters, sniffer captures, the clock) —
+//!   the same digest `bit_identity.rs` uses to gate the PR 4 loop;
+//! * the obs **counter** snapshot of each arm's registry (steps,
+//!   events, CSMA/SACK/tonemap counters, idle skips...), with only the
+//!   engine's own additive `mac.batch.*` series excluded;
+//! * the `Persist` snapshot bytes of every member at every
+//!   intermediate cut point.
+
+use electrifi_state::SnapshotWriter;
+use plc_mac::sim::{Flow, PlcSim, Priority, SimConfig, StationId};
+use plc_mac::PlcBatch;
+use proptest::collection;
+use proptest::prelude::*;
+use simnet::appliance::ApplianceKind;
+use simnet::grid::Grid;
+use simnet::obs::{self, Obs};
+use simnet::schedule::Schedule;
+use simnet::time::{Duration, Time};
+use simnet::traffic::{TrafficPattern, TrafficSource};
+
+#[derive(Clone, Debug)]
+struct FlowSpec {
+    src: StationId,
+    /// `None` = broadcast.
+    dst: Option<StationId>,
+    pattern: TrafficPattern,
+    start_ms: u64,
+    priority: Priority,
+}
+
+/// One ensemble member: its own topology, traffic mix and seed.
+#[derive(Clone, Debug)]
+struct Member {
+    n_stations: u16,
+    flows: Vec<FlowSpec>,
+    cfg: SimConfig,
+}
+
+fn bus_grid(n: u16) -> (Grid, Vec<(StationId, simnet::grid::NodeId)>) {
+    let mut g = Grid::new();
+    let mut junctions = Vec::new();
+    let n_j = (n as usize).div_ceil(2).max(2);
+    for j in 0..n_j {
+        junctions.push(g.add_junction(format!("j{j}")));
+        if j > 0 {
+            g.connect(junctions[j - 1], junctions[j], 9.0 + j as f64);
+        }
+    }
+    let mut outlets = Vec::new();
+    for i in 0..n {
+        let o = g.add_outlet(format!("s{i}"));
+        g.connect(junctions[i as usize % n_j], o, 2.0 + i as f64);
+        outlets.push((i, o));
+    }
+    let oa = g.add_outlet("pc");
+    g.connect(junctions[0], oa, 2.0);
+    g.attach(oa, ApplianceKind::DesktopPc, Schedule::AlwaysOn);
+    (g, outlets)
+}
+
+fn build(m: &Member) -> (PlcSim, Vec<usize>) {
+    let (g, outlets) = bus_grid(m.n_stations);
+    let mut sim = PlcSim::new(m.cfg.clone(), &g, &outlets);
+    let mut handles = Vec::new();
+    for fs in &m.flows {
+        let source = TrafficSource::new(fs.pattern, Time::from_millis(fs.start_ms));
+        let flow = match fs.dst {
+            Some(d) => Flow::unicast(fs.src, d, source),
+            None => Flow::broadcast(fs.src, source),
+        }
+        .with_priority(fs.priority);
+        handles.push(sim.add_flow(flow));
+    }
+    (sim, handles)
+}
+
+fn mix(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// The `bit_identity.rs` observable digest, verbatim.
+fn digest(sim: &mut PlcSim, m: &Member, handles: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    mix(&mut h, sim.now().as_nanos());
+    for (fs, &f) in m.flows.iter().zip(handles) {
+        for p in sim.take_delivered(f) {
+            mix(&mut h, p.seq);
+            mix(&mut h, p.created.as_nanos());
+            mix(&mut h, p.delivered.as_nanos());
+        }
+        for c in sim.take_tx_counts(f) {
+            mix(&mut h, c as u64);
+        }
+        mix(&mut h, sim.dropped(f));
+        match fs.dst {
+            Some(d) => {
+                mix(&mut h, sim.int6krate(fs.src, d).to_bits());
+                let (total, err) = sim.pb_counters(fs.src, d);
+                mix(&mut h, total);
+                mix(&mut h, err);
+            }
+            None => {
+                let mut rows: Vec<(StationId, u64, u64)> = sim
+                    .broadcast_stats(f)
+                    .iter()
+                    .map(|(&r, &(ok, lost))| (r, ok, lost))
+                    .collect();
+                rows.sort_unstable();
+                for (r, ok, lost) in rows {
+                    mix(&mut h, r as u64);
+                    mix(&mut h, ok);
+                    mix(&mut h, lost);
+                }
+            }
+        }
+    }
+    for rec in sim.sniffer_records() {
+        mix(&mut h, rec.t.as_nanos());
+        mix(&mut h, rec.sof.src as u64);
+        mix(&mut h, rec.sof.dst as u64);
+        mix(&mut h, rec.sof.ble_mbps.to_bits());
+        mix(&mut h, rec.sof.tonemap_id as u64);
+        mix(&mut h, rec.sof.slot as u64);
+        mix(&mut h, rec.sof.n_symbols);
+    }
+    h
+}
+
+fn encode(sim: &PlcSim) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.save("mac.sim", sim);
+    w.to_bytes()
+}
+
+/// Counter snapshot of a registry with the batch engine's own additive
+/// series removed: `mac.batch.*` exists only in the batched arm by
+/// construction and measures execution shape, not sim behaviour.
+fn sim_counters(reg: &simnet::Registry) -> Vec<(String, u64)> {
+    reg.snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("mac.batch."))
+        .collect()
+}
+
+/// Everything one arm produces: per-member digests, per-member
+/// snapshot bytes at every intermediate cut, and the counter totals.
+type ArmResult = (Vec<u64>, Vec<Vec<Vec<u8>>>, Vec<(String, u64)>);
+
+/// Serial arm: each member runs alone through the ascending `ends`
+/// sequence (the last entry is the final horizon).
+fn run_serial(members: &[Member], ends: &[Time]) -> ArmResult {
+    let obs = Obs::new();
+    let reg = obs.registry().clone();
+    let (digests, cuts) = obs::with_default(obs, || {
+        let mut digests = Vec::new();
+        let mut cuts = Vec::new();
+        for m in members {
+            let (mut sim, handles) = build(m);
+            let mut sim_cuts = Vec::new();
+            for (k, &end) in ends.iter().enumerate() {
+                sim.run_until(end);
+                if k + 1 < ends.len() {
+                    sim_cuts.push(encode(&sim));
+                }
+            }
+            digests.push(digest(&mut sim, m, &handles));
+            cuts.push(sim_cuts);
+        }
+        (digests, cuts)
+    });
+    (digests, cuts, sim_counters(&reg))
+}
+
+/// Batched arm: all members in one [`PlcBatch`], advanced through the
+/// same `ends` sequence, snapshotted at the same cuts.
+fn run_batched(members: &[Member], ends: &[Time], epoch: Duration) -> ArmResult {
+    let obs = Obs::new();
+    let reg = obs.registry().clone();
+    let (digests, cuts) = obs::with_default(obs, || {
+        let built: Vec<(PlcSim, Vec<usize>)> = members.iter().map(build).collect();
+        let mut handles = Vec::new();
+        let mut sims = Vec::new();
+        for (sim, h) in built {
+            sims.push(sim);
+            handles.push(h);
+        }
+        let mut batch = PlcBatch::with_epoch(sims, epoch);
+        let mut cuts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); members.len()];
+        for (k, &end) in ends.iter().enumerate() {
+            batch.run_until(end);
+            if k + 1 < ends.len() {
+                for (i, sim) in batch.sims().iter().enumerate() {
+                    cuts[i].push(encode(sim));
+                }
+            }
+        }
+        let mut sims = batch.into_sims();
+        let digests = sims
+            .iter_mut()
+            .zip(members)
+            .zip(&handles)
+            .map(|((sim, m), h)| digest(sim, m, h))
+            .collect();
+        (digests, cuts)
+    });
+    (digests, cuts, sim_counters(&reg))
+}
+
+fn assert_arms_match(members: &[Member], ends: &[Time], epoch: Duration) {
+    let (d_ser, cuts_ser, ctr_ser) = run_serial(members, ends);
+    let (d_bat, cuts_bat, ctr_bat) = run_batched(members, ends, epoch);
+    assert_eq!(d_ser, d_bat, "observable digests diverged ({members:?})");
+    assert_eq!(
+        cuts_ser, cuts_bat,
+        "Persist snapshot bytes diverged at a cut point"
+    );
+    assert_eq!(ctr_ser, ctr_bat, "obs counter totals diverged");
+}
+
+// ----- Generators (same workload space as bit_identity.rs) -----
+
+type RawFlow = ((u16, u16), (u8, u64), (bool, bool), u64);
+
+fn decode_flow(n_stations: u16, raw: RawFlow) -> FlowSpec {
+    let ((src_raw, dst_raw), (kind, param), (bcast, ca2), start_ms) = raw;
+    let src = src_raw % n_stations;
+    let dst_candidate = dst_raw % n_stations;
+    let dst = if bcast {
+        None
+    } else if dst_candidate == src {
+        Some((src + 1) % n_stations)
+    } else {
+        Some(dst_candidate)
+    };
+    let pattern = match kind % 4 {
+        0 => TrafficPattern::Saturated { pkt_bytes: 1500 },
+        1 => TrafficPattern::Cbr {
+            rate_bps: 50_000.0 + (param % 1000) as f64 * 2_000.0,
+            pkt_bytes: 1500,
+        },
+        2 => TrafficPattern::Bursts {
+            rate_bps: 100_000.0 + (param % 1000) as f64 * 3_000.0,
+            pkt_bytes: 1500,
+            burst_len: 2 + (param % 8) as u32,
+        },
+        _ => TrafficPattern::FileTransfer {
+            total_bytes: 100_000 + param % 3_000_000,
+            pkt_bytes: 1500,
+        },
+    };
+    FlowSpec {
+        src,
+        dst,
+        pattern,
+        start_ms,
+        priority: if ca2 { Priority::Ca2 } else { Priority::Ca1 },
+    }
+}
+
+type RawMember = (u16, Vec<RawFlow>, u64, bool);
+
+fn decode_member(raw: RawMember) -> Member {
+    let (n_stations, raw_flows, seed, sniffer) = raw;
+    Member {
+        n_stations,
+        flows: raw_flows
+            .into_iter()
+            .map(|r| decode_flow(n_stations, r))
+            .collect(),
+        cfg: SimConfig {
+            seed,
+            sniffer,
+            ..SimConfig::default()
+        },
+    }
+}
+
+fn raw_member() -> impl Strategy<Value = RawMember> {
+    (
+        3u16..6,
+        collection::vec(
+            (
+                (0u16..6, 0u16..6),
+                (0u8..4, any::<u64>()),
+                (any::<bool>(), any::<bool>()),
+                0u64..40,
+            ),
+            1..3,
+        ),
+        any::<u64>(),
+        any::<bool>(),
+    )
+}
+
+proptest! {
+    /// Arbitrary ensembles, epoch widths and run_until cut sequences:
+    /// batched == serial on every observable.
+    #[test]
+    fn prop_batched_matches_serial(
+        raw_members in collection::vec(raw_member(), 1..7),
+        epoch_us in 500u64..30_000,
+        ends_ms in collection::vec(10u64..140, 1..4),
+    ) {
+        let members: Vec<Member> = raw_members.into_iter().map(decode_member).collect();
+        let mut ends_ms = ends_ms;
+        ends_ms.sort_unstable();
+        let ends: Vec<Time> = ends_ms.into_iter().map(Time::from_millis).collect();
+        assert_arms_match(&members, &ends, Duration::from_micros(epoch_us));
+    }
+}
+
+/// Deterministic ensemble shaped like the campaign's probing workload:
+/// many quiescent links at the paper's Fig. 16 probing rates, stepped
+/// through several cuts with a batch larger than the proptest sweep
+/// reaches.
+#[test]
+fn fig16_shaped_ensemble_is_bit_identical() {
+    let rates = [1.0f64, 10.0, 50.0, 200.0];
+    let members: Vec<Member> = (0..24)
+        .map(|i| Member {
+            n_stations: 3,
+            flows: vec![FlowSpec {
+                src: 0,
+                dst: Some(2),
+                pattern: TrafficPattern::Cbr {
+                    rate_bps: rates[i % rates.len()] * 1300.0 * 8.0,
+                    pkt_bytes: 1300,
+                },
+                start_ms: (i as u64 * 7) % 40,
+                priority: Priority::Ca1,
+            }],
+            cfg: SimConfig {
+                seed: 0xF16_0000 + i as u64,
+                ..SimConfig::default()
+            },
+        })
+        .collect();
+    let ends = [
+        Time::from_millis(150),
+        Time::from_millis(150),
+        Time::from_millis(400),
+        Time::from_millis(650),
+    ];
+    assert_arms_match(&members, &ends, Duration::from_millis(10));
+}

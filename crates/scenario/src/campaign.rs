@@ -26,9 +26,10 @@ use crate::de::At;
 use crate::error::ScenarioError;
 use crate::loader::{spec_from_path, Scenario};
 use crate::spec::{parse_experiments, parse_workload, ExperimentKind, ScenarioSpec, WorkloadSpec};
+use electrifi::ensemble;
 use electrifi::env::PaperEnv;
 use electrifi::experiments::spatial::{self, SpatialConfig};
-use electrifi_testbed::sweep;
+use electrifi_testbed::{sweep, StationId};
 use hybrid1905::probing::{ProbingPolicy, PROBE_BYTES};
 use plc_phy::PlcTechnology;
 use serde::{Deserialize, Serialize};
@@ -306,29 +307,56 @@ fn run_fig07(env: &PaperEnv, wl: &WorkloadSpec) -> ExperimentReport {
     }
 }
 
-fn run_probing(env: &PaperEnv, policy: ProbingPolicy, wl: &WorkloadSpec) -> ExperimentReport {
+fn run_probing(
+    env: &PaperEnv,
+    policy: ProbingPolicy,
+    wl: &WorkloadSpec,
+    batch: usize,
+) -> ExperimentReport {
     // Undirected same-network pairs: the 1905.1 probing population.
     let mut pairs: Vec<_> = env.plc_pairs().into_iter().filter(|(a, b)| a < b).collect();
     if let Some(keep) = wl.max_pairs {
         pairs.truncate(keep);
     }
-    let per_link = sweep::par_map(&pairs, |_, &(a, b)| {
-        let (t, _) = spatial::measure_plc(
-            env,
-            a,
-            b,
-            PlcTechnology::HpAv,
-            wl.start(),
-            wl.duration(),
-            wl.sample(),
-        );
-        if t > 0.0 {
-            Some(policy.interval_for(t).as_secs_f64())
-        } else {
-            None
-        }
-    });
-    let intervals: Vec<f64> = per_link.into_iter().flatten().collect();
+    // Per-link throughput, in pair order. `batch == 1` measures each
+    // pair with its own serial sim loop; `batch > 1` drives groups of
+    // `batch` pairs through one lockstep engine
+    // ([`ensemble::measure_plc_batch`]), which is proven bit-identical
+    // to the serial path — batching, like the worker count, is
+    // execution shape and never changes campaign output.
+    let per_link: Vec<(f64, f64)> = if batch <= 1 {
+        sweep::par_map(&pairs, |_, &(a, b)| {
+            spatial::measure_plc(
+                env,
+                a,
+                b,
+                PlcTechnology::HpAv,
+                wl.start(),
+                wl.duration(),
+                wl.sample(),
+            )
+        })
+    } else {
+        let groups: Vec<&[(StationId, StationId)]> = pairs.chunks(batch).collect();
+        sweep::par_map(&groups, |_, group| {
+            ensemble::measure_plc_batch(
+                env,
+                group,
+                PlcTechnology::HpAv,
+                wl.start(),
+                wl.duration(),
+                wl.sample(),
+            )
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    let intervals: Vec<f64> = per_link
+        .into_iter()
+        .filter(|&(t, _)| t > 0.0)
+        .map(|(t, _)| policy.interval_for(t).as_secs_f64())
+        .collect();
     let links = intervals.len() as f64;
     let probes_per_s: f64 = intervals.iter().map(|i| 1.0 / i).sum();
     let mean_interval = if intervals.is_empty() {
@@ -347,6 +375,23 @@ fn run_probing(env: &PaperEnv, policy: ProbingPolicy, wl: &WorkloadSpec) -> Expe
                 probes_per_s * PROBE_BYTES as f64 * 8.0 / 1000.0,
             ),
         ]),
+    }
+}
+
+/// Execution-shape knobs for a run: things that change *how* a run is
+/// computed but — by construction and by test — never *what* it
+/// produces. Like the worker count, none of these may leak into run
+/// records.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Sims advanced together per lockstep engine in batchable
+    /// experiments (currently probing). `1` = serial per-pair loops.
+    pub batch: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { batch: 1 }
     }
 }
 
@@ -370,6 +415,19 @@ pub fn execute_run_with(
     scenario: &ScenarioSpec,
     obs: Obs,
 ) -> Result<RunRecord, ScenarioError> {
+    execute_run_opts(run, scenario, obs, &ExecOptions::default())
+}
+
+/// [`execute_run_with`] under explicit [`ExecOptions`]. The returned
+/// record is byte-identical for every option value (batching is proven
+/// bit-identical by `plc-mac/tests/batch_identity.rs` and the ensemble
+/// tests; the campaign-level test below re-checks the whole record).
+pub fn execute_run_opts(
+    run: &RunSpec,
+    scenario: &ScenarioSpec,
+    obs: Obs,
+    exec: &ExecOptions,
+) -> Result<RunRecord, ScenarioError> {
     let setup_span = obs::span::enter("campaign.run_setup");
     let sc = Scenario::load_with_seed(scenario.clone(), run.seed)?;
     let env = PaperEnv::from_testbed(sc.testbed);
@@ -385,7 +443,9 @@ pub fn execute_run_with(
             .map(|kind| match kind {
                 ExperimentKind::Fig03 => run_fig03(&env, &run.workload),
                 ExperimentKind::Fig07 => run_fig07(&env, &run.workload),
-                ExperimentKind::Probing => run_probing(&env, sc.spec.probing, &run.workload),
+                ExperimentKind::Probing => {
+                    run_probing(&env, sc.spec.probing, &run.workload, exec.batch)
+                }
             })
             .collect::<Vec<_>>()
     });
@@ -554,6 +614,30 @@ mod tests {
         // Each run carries its own metrics, not a shared registry.
         for r in &s1.runs {
             assert_eq!(r.metrics.counter("campaign.runs_started"), 1);
+        }
+    }
+
+    #[test]
+    fn run_records_are_byte_identical_across_batch_sizes() {
+        // Batching is execution shape, exactly like the worker count:
+        // the full record — headline numbers AND metric snapshot — must
+        // not change when probing pairs go through the lockstep engine.
+        let spec = tiny();
+        let runs = spec.expand();
+        for run in &runs {
+            let scenario = &spec.scenarios[run.scenario_index];
+            let serial = execute_run_opts(run, scenario, Obs::new(), &ExecOptions { batch: 1 })
+                .expect("serial run");
+            for batch in [2, 64] {
+                let batched = execute_run_opts(run, scenario, Obs::new(), &ExecOptions { batch })
+                    .expect("batched run");
+                assert_eq!(
+                    serde_json::to_string_pretty(&serial).unwrap(),
+                    serde_json::to_string_pretty(&batched).unwrap(),
+                    "run {} diverged at batch={batch}",
+                    run.run_name
+                );
+            }
         }
     }
 

@@ -21,7 +21,9 @@
 //! never in the per-run snapshots — otherwise a resumed summary could
 //! not be byte-identical to a straight-through one.
 
-use crate::campaign::{execute_run, summarize, CampaignSpec, CampaignSummary, RunRecord, RunSpec};
+use crate::campaign::{
+    execute_run_opts, summarize, CampaignSpec, CampaignSummary, ExecOptions, RunRecord, RunSpec,
+};
 use crate::error::ScenarioError;
 use crate::telemetry::{Telemetry, TelemetryOptions};
 use electrifi_state::{SnapshotReader, SnapshotWriter, StateError};
@@ -263,6 +265,30 @@ pub fn run_campaign_monitored(
     opts: &CheckpointOptions,
     telemetry: &TelemetryOptions,
 ) -> Result<(CampaignOutcome, CheckpointStats), ScenarioError> {
+    run_campaign_monitored_opts(
+        spec,
+        workers,
+        filter,
+        out_dir,
+        opts,
+        telemetry,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`run_campaign_monitored`] under explicit [`ExecOptions`] (e.g. the
+/// `--batch` lockstep width). Execution shape only: the summary and
+/// checkpoints are byte-identical for every option value.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_monitored_opts(
+    spec: &CampaignSpec,
+    workers: usize,
+    filter: Option<&str>,
+    out_dir: &Path,
+    opts: &CheckpointOptions,
+    telemetry: &TelemetryOptions,
+    exec: &ExecOptions,
+) -> Result<(CampaignOutcome, CheckpointStats), ScenarioError> {
     let runs: Vec<RunSpec> = spec.expand_filtered(filter);
     let digest = config_digest(&runs.as_slice());
     let ambient = obs::current();
@@ -316,7 +342,12 @@ pub fn run_campaign_monitored(
         // 1 and the wave-local index doubles as the worker lane.
         let results = sweep::par_map_workers(wave, workers, |i, run| {
             let started = Instant::now();
-            let result = execute_run(run, &spec.scenarios[run.scenario_index]);
+            let result = execute_run_opts(
+                run,
+                &spec.scenarios[run.scenario_index],
+                obs::Obs::new(),
+                exec,
+            );
             if let Some(m) = &monitor {
                 m.run_done(
                     done + i,

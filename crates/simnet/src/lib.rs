@@ -26,7 +26,11 @@
 //! * [`obs`] — sim-time observability: a metrics registry, a structured
 //!   event log, and run manifests, guaranteed never to perturb a run.
 //! * [`threads`] — validated worker-count parsing (`ELECTRIFI_THREADS`,
-//!   `--workers`) with typed errors naming the misconfigured source.
+//!   `ELECTRIFI_BATCH`, `--workers`, `--batch`) with typed errors naming
+//!   the misconfigured source.
+//! * [`wheel`] — a hierarchical time wheel and lockstep batch engine
+//!   advancing N independent sims through shared epochs, bit-identically
+//!   to stepping each one alone.
 //!
 //! The design follows the smoltcp idiom: synchronous, event-driven,
 //! allocation-conscious, with no async runtime — the whole system is a
@@ -48,6 +52,7 @@ pub mod threads;
 pub mod time;
 pub mod trace;
 pub mod traffic;
+pub mod wheel;
 
 pub use event::{EventQueue, EventQueueStats, ScheduledEvent};
 pub use obs::{MetricsSnapshot, Obs, ObsEvent, ObsSink, Registry, RunManifest};
