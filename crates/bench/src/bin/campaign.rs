@@ -36,7 +36,8 @@
 //! the per-run manifests are byte-identical with them on or off.
 //!
 //! Exit codes: 0 success, 2 bad usage / invalid campaign or scenario
-//! document, 3 filesystem I/O failure, 4 a run failed during execution.
+//! document, 3 filesystem I/O failure, 4 a run failed during execution,
+//! 5 every run executed but some run's assertion verdict failed.
 
 use electrifi_scenario::campaign::{
     validate_scenarios, write_artifacts, CampaignSpec, ExecOptions,
@@ -55,10 +56,14 @@ use std::time::Duration;
 // Distinct exit codes so scripts can branch on *why* a campaign failed
 // (documented in README.md): 2 = bad usage or an invalid campaign /
 // scenario document, 3 = filesystem I/O, 4 = a run failed during
-// execution. 0 stays success, 1 is left to panics.
+// execution, 5 = all runs executed but an assertion verdict failed.
+// 0 stays success, 1 is left to panics. 4 and 5 are deliberately
+// distinct: 4 means the campaign could not produce its output, 5 means
+// the output exists and says the system under test broke an invariant.
 const EXIT_USAGE: u8 = 2;
 const EXIT_IO: u8 = 3;
 const EXIT_RUN: u8 = 4;
+const EXIT_ASSERT: u8 = 5;
 
 /// Map a scenario-layer error to the exit code taxonomy. `exec` says
 /// whether the error escaped from run execution (4) rather than from
@@ -456,5 +461,23 @@ fn main() -> ExitCode {
         args.out.display(),
         summary.config_digest
     );
+    let failed = summary.failed_verdicts();
+    if !failed.is_empty() {
+        for run in &failed {
+            let v = run
+                .verdict
+                .as_ref()
+                .expect("failed verdicts carry a verdict");
+            for a in v.assertions.iter().filter(|a| !a.pass) {
+                eprintln!("verdict FAIL {}: {} — {}", run.run, a.kind, a.detail);
+            }
+        }
+        eprintln!(
+            "campaign {:?}: {} run(s) failed their assertion verdict",
+            spec.name,
+            failed.len()
+        );
+        return ExitCode::from(EXIT_ASSERT);
+    }
     ExitCode::SUCCESS
 }

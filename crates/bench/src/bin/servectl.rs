@@ -9,6 +9,8 @@
 //!   status <id>                GET /campaigns/:id
 //!   wait <id> [--timeout SECS] poll until the campaign is terminal
 //!   results <id>               GET /campaigns/:id/results -> stdout
+//!   verdict <id>               summarize per-run assertion verdicts;
+//!                              exit 5 if any verdict failed
 //!   manifest <id> <run>        GET /campaigns/:id/results?manifest=<run>
 //!   cancel <id>                POST /campaigns/:id/cancel
 //!   events <id> [--limit N] [--obs]  stream the live event feed
@@ -19,7 +21,8 @@
 //!
 //! Exit codes: 0 success, 2 bad usage, 3 transport failure, 4 the
 //! server answered with an error status (or the awaited campaign
-//! finished failed/cancelled).
+//! finished failed/cancelled), 5 `verdict` found a failing assertion
+//! verdict (mirrors the `campaign` binary's exit-code taxonomy).
 
 use electrifi_serve::{Endpoint, HttpClient};
 use std::path::PathBuf;
@@ -27,11 +30,12 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: servectl (--unix PATH | --tcp ADDR) \
-                     <submit|list|status|wait|results|manifest|cancel|events|metrics|health|shutdown> [args]";
+                     <submit|list|status|wait|results|verdict|manifest|cancel|events|metrics|health|shutdown> [args]";
 
 const EXIT_USAGE: u8 = 2;
 const EXIT_TRANSPORT: u8 = 3;
 const EXIT_SERVER: u8 = 4;
+const EXIT_ASSERT: u8 = 5;
 
 fn fail_usage(msg: &str) -> ExitCode {
     eprintln!("{msg}\n{USAGE}");
@@ -189,6 +193,69 @@ fn main() -> ExitCode {
             match client.request("GET", &format!("/campaigns/{id}/results"), None) {
                 Ok(resp) => show_raw(&resp),
                 Err(e) => transport(e),
+            }
+        }
+        "verdict" => {
+            let Some(id) = rest.first() else {
+                return fail_usage("verdict needs a campaign id");
+            };
+            let resp = match client.request("GET", &format!("/campaigns/{id}/results"), None) {
+                Ok(r) => r,
+                Err(e) => return transport(e),
+            };
+            if !(200..300).contains(&resp.status) {
+                eprintln!("servectl: HTTP {}: {}", resp.status, resp.text());
+                return ExitCode::from(EXIT_SERVER);
+            }
+            let summary: electrifi_scenario::CampaignSummary =
+                match serde_json::from_str(&resp.text())
+                    .map_err(|e| e.to_string())
+                    .and_then(|v: serde::Value| {
+                        serde::Deserialize::from_value(&v).map_err(|e| e.to_string())
+                    }) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("servectl: summary did not parse: {e}");
+                        return ExitCode::from(EXIT_SERVER);
+                    }
+                };
+            let mut failed = 0usize;
+            let mut judged = 0usize;
+            for run in &summary.runs {
+                let Some(v) = &run.verdict else { continue };
+                judged += 1;
+                if !v.pass {
+                    failed += 1;
+                }
+                println!(
+                    "{:32} {}  ({} disturbance(s), {} assertion(s){})",
+                    run.run,
+                    if v.pass { "PASS" } else { "FAIL" },
+                    v.disturbances.len(),
+                    v.assertions.len(),
+                    match v.max_recovery_s {
+                        Some(r) => format!(", worst recovery {r:.3}s"),
+                        None => String::new(),
+                    }
+                );
+                for a in &v.assertions {
+                    println!(
+                        "    {} {:28} {}",
+                        if a.pass { "ok  " } else { "FAIL" },
+                        a.kind,
+                        a.detail
+                    );
+                }
+            }
+            if judged == 0 {
+                println!("no run carried a verdict (no disturbance experiment in this campaign)");
+                ExitCode::SUCCESS
+            } else if failed > 0 {
+                eprintln!("servectl: {failed}/{judged} verdict(s) failed");
+                ExitCode::from(EXIT_ASSERT)
+            } else {
+                println!("all {judged} verdict(s) passed");
+                ExitCode::SUCCESS
             }
         }
         "manifest" => {

@@ -9,6 +9,7 @@
 //! numbers in `EXPERIMENTS.md`.
 
 pub mod capacity;
+pub mod disturbance;
 pub mod hybrid;
 pub mod retrans;
 pub mod spatial;

@@ -1,0 +1,149 @@
+//! The disturbance/coupling/assertion vocabulary the scenario schema
+//! parses into.
+//!
+//! Times are *relative to the measurement start* of the run (seconds):
+//! scenarios do not know the absolute workload window, and campaigns
+//! override workloads per run, so anchoring happens at compile time
+//! ([`crate::CompiledFaults::compile`]).
+
+/// Attenuation (dB) applied to a link isolated by a breaker trip — far
+/// past any usable SNR, so the link reads as electrically dead while the
+/// trip lasts.
+pub const ISOLATION_DB: f64 = 300.0;
+
+/// What a disturbance does to the floor. PLC-side kinds target one
+/// distribution board (= logical PLC network index: the paper floor's
+/// network A is board 0, B is board 1); WiFi jamming and probe dropouts
+/// act floor-wide.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisturbanceKind {
+    /// An appliance surge raises the noise floor on every link of one
+    /// board by `noise_db` (paper §5: appliance events dominate PLC
+    /// temporal variation).
+    ApplianceSurge {
+        /// Distribution board (logical PLC network index) hit.
+        board: u16,
+        /// Noise-floor rise, dB (> 0).
+        noise_db: f64,
+    },
+    /// A breaker trip electrically isolates one board: its links see
+    /// [`ISOLATION_DB`] of attenuation for the duration.
+    BreakerTrip {
+        /// Distribution board isolated.
+        board: u16,
+    },
+    /// Progressive cable degradation: attenuation on one board's links
+    /// ramps linearly to `atten_db` over the disturbance's `ramp_s`.
+    CableDegrade {
+        /// Distribution board whose wiring degrades.
+        board: u16,
+        /// Attenuation reached at the end of the ramp, dB (> 0).
+        atten_db: f64,
+    },
+    /// A wide-band WiFi jamming burst: every WiFi link loses
+    /// `penalty_db` of SNR.
+    WifiJam {
+        /// SNR penalty while jammed, dB (> 0).
+        penalty_db: f64,
+    },
+    /// Probe/sensor dropout: the hybrid layer's link-metric probes stop
+    /// updating and the last estimate goes stale.
+    ProbeDropout,
+}
+
+impl DisturbanceKind {
+    /// Stable kebab-case name (used in JSON and verdict details).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DisturbanceKind::ApplianceSurge { .. } => "appliance-surge",
+            DisturbanceKind::BreakerTrip { .. } => "breaker-trip",
+            DisturbanceKind::CableDegrade { .. } => "cable-degrade",
+            DisturbanceKind::WifiJam { .. } => "wifi-jam",
+            DisturbanceKind::ProbeDropout => "probe-dropout",
+        }
+    }
+}
+
+/// One scripted disturbance: a kind active over a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisturbanceSpec {
+    /// Optional label couplings refer to (empty = anonymous).
+    pub name: String,
+    /// Onset, seconds after measurement start (>= 0).
+    pub at_s: f64,
+    /// Active window length, seconds (> 0).
+    pub duration_s: f64,
+    /// Linear ramp-in length, seconds (0 = step; <= duration_s). Only
+    /// meaningful for overlay kinds (surge/degrade).
+    pub ramp_s: f64,
+    /// What happens.
+    pub kind: DisturbanceKind,
+}
+
+/// A delayed coupling: when the named disturbance fires, `effect` starts
+/// `after_ms` later. Because disturbances are scripted, couplings resolve
+/// at compile time into ordinary timeline windows — execution stays
+/// deterministic by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingSpec {
+    /// Name of the triggering disturbance.
+    pub source: String,
+    /// Delay after the trigger's onset, milliseconds.
+    pub after_ms: u64,
+    /// Effect window length, seconds (> 0).
+    pub duration_s: f64,
+    /// Triggered effect.
+    pub effect: DisturbanceKind,
+}
+
+/// A declarative invariant checked against a disturbed run's measured
+/// series (see [`crate::evaluate`] for exact semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssertionSpec {
+    /// The paper's §7 load-balancing invariant: the hybrid aggregate is
+    /// at least the best single medium, everywhere except a `within_s`
+    /// grace window after each disturbance boundary.
+    HybridAtLeastBestMedium {
+        /// Adaptation grace period after each disturbance edge, seconds.
+        within_s: f64,
+    },
+    /// While the floor is quiesced (no disturbance active and `settle_s`
+    /// past the last one), the hybrid layer's capacity estimate tracks
+    /// delivered throughput within `tolerance_frac`.
+    EstimateWithin {
+        /// Allowed relative error, fraction of delivered (0 < x <= 1).
+        tolerance_frac: f64,
+        /// Settling time after a disturbance ends before samples count,
+        /// seconds.
+        settle_s: f64,
+    },
+    /// After every disturbance window ends, delivered throughput
+    /// recovers to `frac` of the pre-disturbance baseline within
+    /// `within_s`.
+    RecoveryWithin {
+        /// Recovery deadline after each disturbance end, seconds.
+        within_s: f64,
+        /// Required fraction of the quiesced baseline (0 < x <= 1).
+        frac: f64,
+    },
+    /// A named metrics counter reached at least `min` by the end of the
+    /// run (e.g. `faults.edges` to assert the timeline actually fired).
+    CounterAtLeast {
+        /// Counter name in the run's metrics snapshot.
+        counter: String,
+        /// Required minimum value.
+        min: f64,
+    },
+}
+
+impl AssertionSpec {
+    /// Stable kebab-case name (used in JSON and verdict blocks).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssertionSpec::HybridAtLeastBestMedium { .. } => "hybrid-at-least-best-medium",
+            AssertionSpec::EstimateWithin { .. } => "estimate-within",
+            AssertionSpec::RecoveryWithin { .. } => "recovery-within",
+            AssertionSpec::CounterAtLeast { .. } => "counter-at-least",
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //!   estimation-error evaluation behind Fig. 19.
 //! * [`etx`] — expected transmission count: broadcast-probe ETX (which
 //!   the paper shows is uninformative on PLC, §8.1) and unicast U-ETX.
+//! * [`gated`] — probe-fed capacity estimation gated by the fault
+//!   track's probe-dropout windows: during a sensing outage the last
+//!   estimate is held stale, the failure mode the assertion engine's
+//!   `estimate-within` invariant quantifies.
 //! * [`routing`] — quality-aware multi-hop routing (ETT over the metric
 //!   database), the mesh use case §4.3 motivates, including the
 //!   "alternating technologies" pattern of the paper's reference \[17\].
@@ -29,11 +33,13 @@
 
 pub mod balancer;
 pub mod etx;
+pub mod gated;
 pub mod metrics;
 pub mod probing;
 pub mod routing;
 
 pub use balancer::{combine_streams, CombinedDelivery, SplitStrategy};
+pub use gated::GatedEstimator;
 pub use metrics::{LinkMetric, LinkMetricsDb, Medium};
 pub use probing::ProbingPolicy;
 pub use routing::{Route, Router, RouterConfig};

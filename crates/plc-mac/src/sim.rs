@@ -154,6 +154,11 @@ pub struct SimConfig {
     /// Transmit-queue capacity in PBs (device buffer; PLC queues are
     /// non-blocking and drop on overflow, paper footnote 11).
     pub queue_cap_pbs: usize,
+    /// Scripted medium outage (breaker trip seen from the MAC): windows
+    /// during which no station of this contention domain can transmit.
+    /// Pure function of time, so outaged runs stay deterministic across
+    /// execution shapes. `None` (the default) costs nothing per step.
+    pub outage: Option<electrifi_faults::OutageProfile>,
 }
 
 impl Default for SimConfig {
@@ -174,6 +179,7 @@ impl Default for SimConfig {
             disable_deferral: false,
             sniffer: false,
             queue_cap_pbs: 600,
+            outage: None,
         }
     }
 }
@@ -859,6 +865,21 @@ impl PlcSim {
         if self.now >= end {
             self.now = end;
             return;
+        }
+        // Scripted outage (breaker trip): the medium is dead, so no
+        // contention can resolve — fast-forward to the blackout's end
+        // (or the horizon, whichever is first). Like the idle-advance
+        // below, the jump depends only on sim state and the final
+        // horizon, preserving the step-slicing bit-identity the batch
+        // stepper relies on. Arrivals queue up meanwhile and drain on
+        // the first post-outage step, modelling device buffers riding
+        // through the trip.
+        if let Some(outage) = &self.cfg.outage {
+            if let Some(until) = outage.blackout_until(self.now) {
+                self.obs.registry().counter("plc.mac.outage_skips").inc();
+                self.now = until.min(end);
+                return;
+            }
         }
         self.refill_queues();
         // Detach the scratch from `self` so the pipeline can borrow both
@@ -1653,6 +1674,63 @@ mod tests {
         let after = s.int6krate(0, 2);
         assert!(robo < 7.0, "initial BLE should be ROBO: {robo}");
         assert!(after > 3.0 * robo, "BLE should grow: {after} vs {robo}");
+    }
+
+    #[test]
+    fn outage_blacks_out_the_medium_then_recovers() {
+        use electrifi_faults::OutageProfile;
+        // Outage covering [1s, 2s): deliveries must stall inside the
+        // window and resume after it.
+        let cfg = SimConfig {
+            outage: Some(OutageProfile {
+                windows: vec![(Time::from_secs(1).as_nanos(), Time::from_secs(2).as_nanos())],
+            }),
+            ..SimConfig::default()
+        };
+        let mut s = sim(cfg);
+        let f = s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+        s.run_until(Time::from_secs(1));
+        let before = s.take_delivered(f).len();
+        s.run_until(Time::from_secs(2));
+        let during = s.take_delivered(f).len();
+        s.run_until(Time::from_secs(3));
+        let after = s.take_delivered(f).len();
+        assert!(before > 500, "pre-outage deliveries: {before}");
+        assert_eq!(during, 0, "medium must be dead during the outage");
+        assert!(after > 500, "post-outage deliveries: {after}");
+    }
+
+    #[test]
+    fn outage_fast_forward_is_horizon_independent() {
+        use electrifi_faults::OutageProfile;
+        // Slicing run_until across an outage window must land on the
+        // same state as running straight through (the batch stepper's
+        // bit-identity discipline).
+        let mk = || {
+            let cfg = SimConfig {
+                outage: Some(OutageProfile {
+                    windows: vec![(
+                        Time::from_millis(500).as_nanos(),
+                        Time::from_millis(1500).as_nanos(),
+                    )],
+                }),
+                ..SimConfig::default()
+            };
+            let mut s = sim(cfg);
+            s.add_flow(Flow::unicast(0, 2, TrafficSource::iperf_saturated()));
+            s
+        };
+        let mut straight = mk();
+        straight.run_until(Time::from_secs(3));
+        let mut sliced = mk();
+        for ms in [400u64, 700, 900, 1499, 1501, 2200, 3000] {
+            sliced.run_until(Time::from_millis(ms));
+        }
+        assert_eq!(straight.now(), sliced.now());
+        assert_eq!(
+            straight.take_delivered(0).len(),
+            sliced.take_delivered(0).len()
+        );
     }
 
     #[test]

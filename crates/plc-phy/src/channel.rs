@@ -28,6 +28,7 @@
 
 use crate::carrier::{CarrierPlan, PlcTechnology};
 use crate::kernels;
+use electrifi_faults::LinkOverlay;
 use serde::{Deserialize, Serialize};
 use simnet::appliance::{ApplianceProfile, CABLE_Z0_OHMS};
 use simnet::grid::{Grid, NodeId, NodeKind};
@@ -359,6 +360,10 @@ pub struct PlcChannel {
     /// floor.
     static_noise_a_db: f64,
     static_noise_b_db: f64,
+    /// Scripted fault overlay (appliance surges, breaker trips, cable
+    /// degradation): additive noise/attenuation windows as a pure
+    /// function of time. `None` for undisturbed links.
+    overlay: Option<LinkOverlay>,
     /// Derived-state cache (static per-carrier vectors + the multipath
     /// terms of the current appliance epoch). Never serialized.
     cache: SpectrumCache,
@@ -468,12 +473,28 @@ impl PlcChannel {
             cycle_ba: ValueNoise::new(link_seed ^ 0xBA),
             static_noise_a_db: static_draw(0x57A7_000A),
             static_noise_b_db: static_draw(0x57A7_000B),
+            overlay: None,
             cache: SpectrumCache::default(),
         };
         // Warm the static per-carrier vectors now: every spectrum of this
         // link needs them and they never change.
         ch.cache.state.borrow_mut().stat = Some(ch.build_static_terms(true));
         Some(ch)
+    }
+
+    /// Attach (or clear) the scripted fault overlay for this link. The
+    /// overlay adds noise and attenuation as a pure function of time, so
+    /// a disturbed channel stays deterministic across execution shapes;
+    /// with `None` (the default) the spectrum paths perform no extra
+    /// floating-point work and stay bit-identical to an undisturbed
+    /// channel.
+    pub fn set_fault_overlay(&mut self, overlay: Option<LinkOverlay>) {
+        self.overlay = overlay;
+    }
+
+    /// The scripted fault overlay, if one is attached.
+    pub fn fault_overlay(&self) -> Option<&LinkOverlay> {
+        self.overlay.as_ref()
     }
 
     /// The carrier plan in use.
@@ -632,10 +653,24 @@ impl PlcChannel {
         // --- Frequency-flat, direction-dependent scalars (cheap).
         let coupling_db = p.injection_weight * self.coupling_loss_db(src_local, t)
             + p.extraction_weight * self.coupling_loss_db(dst_local, t);
-        let ambient_db = self.appliance_noise_db(dst_local, t, phase, dst_static_db);
+        let mut ambient_db = self.appliance_noise_db(dst_local, t, phase, dst_static_db);
+        let mut board_db = self.boards_crossed as f64 * p.board_transit_db;
+        // Fault overlay folds into the flat terms *before* the cycle
+        // sigma, so scripted noise also widens the cycle-scale
+        // fluctuation like real appliance noise would. Both additions
+        // are guarded: an inactive overlay performs zero extra
+        // floating-point operations.
+        if let Some(ov) = &self.overlay {
+            let (noise_db, atten_db) = ov.at(t);
+            if noise_db != 0.0 {
+                ambient_db += noise_db;
+            }
+            if atten_db != 0.0 {
+                board_db += atten_db;
+            }
+        }
         let sigma = p.cycle_sigma_base_db + p.cycle_sigma_per_noise_db * ambient_db;
         let cycle_db = cycle.fbm(t.as_secs_f64() / p.cycle_corr_s, 2) * 2.0 * sigma;
-        let board_db = self.boards_crossed as f64 * p.board_transit_db;
         // --- Cached per-carrier vectors.
         let mut guard = self.cache.state.borrow_mut();
         let state = &mut *guard;
@@ -925,11 +960,22 @@ impl PlcChannel {
         // --- Direction-dependent coupling losses.
         let coupling_db = p.injection_weight * self.coupling_loss_db(src_local, t)
             + p.extraction_weight * self.coupling_loss_db(dst_local, t);
-        // --- Receiver noise, frequency-independent parts.
-        let ambient_db = self.appliance_noise_db(dst_local, t, phase, dst_static_db);
+        // --- Receiver noise, frequency-independent parts. The fault
+        // overlay folds in exactly as in the cached path: same guards,
+        // same association order, bit-identical composition.
+        let mut ambient_db = self.appliance_noise_db(dst_local, t, phase, dst_static_db);
+        let mut board_db = self.boards_crossed as f64 * p.board_transit_db;
+        if let Some(ov) = &self.overlay {
+            let (noise_db, atten_db) = ov.at(t);
+            if noise_db != 0.0 {
+                ambient_db += noise_db;
+            }
+            if atten_db != 0.0 {
+                board_db += atten_db;
+            }
+        }
         let sigma = p.cycle_sigma_base_db + p.cycle_sigma_per_noise_db * ambient_db;
         let cycle_db = cycle.fbm(t.as_secs_f64() / p.cycle_corr_s, 2) * 2.0 * sigma;
-        let board_db = self.boards_crossed as f64 * p.board_transit_db;
 
         // --- Multipath interference relative to the direct ray.
         let n = self.plan.len();
@@ -1077,6 +1123,58 @@ mod tests {
             ab < ba - 1.0,
             "ab={ab} ba={ba}: expected A→B to be the weaker direction"
         );
+    }
+
+    #[test]
+    fn fault_overlay_degrades_snr_only_inside_its_window() {
+        use electrifi_faults::OverlayWindow;
+        let (g, a, b) = straight_link(false, ' ');
+        let mut c = chan(&g, a, b);
+        let before = c.spectrum(LinkDir::AtoB, Time::from_secs(5)).mean_db();
+        c.set_fault_overlay(Some(LinkOverlay {
+            windows: vec![OverlayWindow {
+                start_ns: Time::from_secs(10).as_nanos(),
+                end_ns: Time::from_secs(20).as_nanos(),
+                ramp_ns: 0,
+                noise_db: 15.0,
+                atten_db: 5.0,
+            }],
+        }));
+        // Outside the window the overlaid channel is bit-identical.
+        let outside = c.spectrum(LinkDir::AtoB, Time::from_secs(5));
+        assert_eq!(outside.mean_db(), before);
+        // Inside, both the surge noise and the attenuation bite.
+        let inside = c.spectrum(LinkDir::AtoB, Time::from_secs(15)).mean_db();
+        assert!(
+            inside < before - 15.0,
+            "inside={inside} before={before}: overlay must degrade SNR"
+        );
+    }
+
+    #[test]
+    fn fault_overlay_keeps_cache_and_reference_bit_identical() {
+        use electrifi_faults::OverlayWindow;
+        let (g, a, b) = straight_link(true, 'j');
+        let mut c = chan(&g, a, b);
+        c.set_fault_overlay(Some(LinkOverlay {
+            windows: vec![OverlayWindow {
+                start_ns: Time::from_secs(2).as_nanos(),
+                end_ns: Time::from_secs(30).as_nanos(),
+                ramp_ns: Time::from_secs(4).as_nanos(),
+                noise_db: 12.0,
+                atten_db: 8.0,
+            }],
+        }));
+        // Sample before, on the ramp, at full strength and after; cached
+        // and reference evaluators must agree bit-for-bit throughout.
+        for secs in [1u64, 3, 4, 10, 29, 31] {
+            let t = Time::from_secs(secs);
+            for dir in [LinkDir::AtoB, LinkDir::BtoA] {
+                let cached = c.spectrum_at_phase(dir, t, 0.3);
+                let reference = c.spectrum_at_phase_reference(dir, t, 0.3);
+                assert_eq!(cached.snr_db, reference.snr_db, "t={secs}s {dir:?}");
+            }
+        }
     }
 
     #[test]

@@ -28,12 +28,15 @@ use crate::loader::{spec_from_path, Scenario};
 use crate::spec::{parse_experiments, parse_workload, ExperimentKind, ScenarioSpec, WorkloadSpec};
 use electrifi::ensemble;
 use electrifi::env::PaperEnv;
+use electrifi::experiments::disturbance::{self, DisturbanceConfig};
 use electrifi::experiments::spatial::{self, SpatialConfig};
+use electrifi_faults::{evaluate, CompiledFaults, Verdict};
 use electrifi_testbed::{sweep, StationId};
 use hybrid1905::probing::{ProbingPolicy, PROBE_BYTES};
 use plc_phy::PlcTechnology;
 use serde::{Deserialize, Serialize};
 use simnet::obs::{self, config_digest, MetricsSnapshot, Obs};
+use simnet::time::Duration;
 use std::path::Path;
 
 /// A parsed campaign file.
@@ -97,6 +100,9 @@ pub struct RunRecord {
     pub experiments: Vec<ExperimentReport>,
     /// The run's full metrics snapshot (fresh per-run registry).
     pub metrics: MetricsSnapshot,
+    /// The assertion engine's typed pass/fail block — present iff the
+    /// run executed the `disturbance` experiment.
+    pub verdict: Option<Verdict>,
 }
 
 /// The campaign-level output written as `summary.json`.
@@ -112,6 +118,19 @@ pub struct CampaignSummary {
     /// Headline values summed across runs, keyed `<experiment>.<name>`,
     /// name-sorted.
     pub totals: Vec<(String, f64)>,
+}
+
+impl CampaignSummary {
+    /// Runs whose assertion verdict failed, in expansion order. Empty
+    /// when no run executed the `disturbance` experiment (or all
+    /// verdicts passed) — the campaign CLI exits 5 iff this is
+    /// non-empty.
+    pub fn failed_verdicts(&self) -> Vec<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|r| r.verdict.as_ref().is_some_and(|v| !v.pass))
+            .collect()
+    }
 }
 
 impl CampaignSpec {
@@ -378,6 +397,57 @@ fn run_probing(
     }
 }
 
+/// Run the disturbance experiment: compile the scenario's fault track
+/// anchored at `workload start + warm-up`, sample the disturbed hybrid
+/// link, and evaluate the scenario's assertions into a [`Verdict`].
+///
+/// Fault compilation, the sampling loop and the assertion engine are all
+/// pure functions of the scenario and the timeline, so the report *and*
+/// the verdict are byte-identical across reruns, worker counts, batch
+/// widths and checkpoint/resume — the same discipline as every other
+/// experiment arm.
+fn run_disturbance(
+    env: &PaperEnv,
+    scenario: &ScenarioSpec,
+    wl: &WorkloadSpec,
+) -> (ExperimentReport, Verdict) {
+    let t0 = wl.start() + Duration::from_secs(disturbance::WARMUP_SECS);
+    // The scenario validator already rejected unknown coupling sources,
+    // so compilation cannot fail here.
+    let faults = CompiledFaults::compile(&scenario.disturbances, &scenario.couplings, t0)
+        .expect("validated disturbance track compiles");
+    let cfg = DisturbanceConfig {
+        start: t0,
+        duration: wl.duration(),
+        sample: wl.sample(),
+        probe: Duration::from_secs(1),
+    };
+    let out = disturbance::run_disturbance(env, &faults, cfg);
+    let counters: Vec<(String, f64)> = obs::current()
+        .registry()
+        .snapshot()
+        .counters
+        .into_iter()
+        .map(|(n, v)| (n, v as f64))
+        .collect();
+    let verdict = evaluate(&scenario.assertions, &faults, &out.series, &counters, t0);
+    let passed = verdict.assertions.iter().filter(|a| a.pass).count();
+    let report = ExperimentReport {
+        kind: ExperimentKind::Disturbance.name().to_string(),
+        headline: headline(&[
+            ("samples", out.series.t_s.len() as f64),
+            ("disturbances", faults.disturbance_windows().len() as f64),
+            ("edges_fired", out.edges_fired as f64),
+            ("probe_holds", out.probe_holds as f64),
+            ("assertions", verdict.assertions.len() as f64),
+            ("assertions_passed", passed as f64),
+            ("verdict_pass", if verdict.pass { 1.0 } else { 0.0 }),
+            ("max_recovery_s", verdict.max_recovery_s.unwrap_or(0.0)),
+        ]),
+    };
+    (report, verdict)
+}
+
 /// Execution-shape knobs for a run: things that change *how* a run is
 /// computed but — by construction and by test — never *what* it
 /// produces. Like the worker count, none of these may leak into run
@@ -433,6 +503,7 @@ pub fn execute_run_opts(
     let env = PaperEnv::from_testbed(sc.testbed);
     drop(setup_span);
     let _span = obs::span::enter("campaign.run_execute");
+    let mut verdict: Option<Verdict> = None;
     let experiments = obs::with_default(obs.clone(), || {
         obs::current()
             .registry()
@@ -446,6 +517,11 @@ pub fn execute_run_opts(
                 ExperimentKind::Probing => {
                     run_probing(&env, sc.spec.probing, &run.workload, exec.batch)
                 }
+                ExperimentKind::Disturbance => {
+                    let (report, v) = run_disturbance(&env, &sc.spec, &run.workload);
+                    verdict = Some(v);
+                    report
+                }
             })
             .collect::<Vec<_>>()
     });
@@ -458,6 +534,7 @@ pub fn execute_run_opts(
         plc_links: env.plc_pairs().len() as u64,
         experiments,
         metrics: obs.registry().snapshot(),
+        verdict,
     })
 }
 

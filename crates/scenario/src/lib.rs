@@ -34,6 +34,7 @@ pub mod builtin;
 pub mod campaign;
 pub mod checkpoint;
 pub mod de;
+pub mod disturbance;
 pub mod error;
 pub mod generate;
 pub mod loader;

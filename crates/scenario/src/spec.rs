@@ -27,7 +27,9 @@
 //! so every rejection names the offending field.
 
 use crate::de::At;
+use crate::disturbance::{parse_assertions, parse_couplings, parse_disturbances};
 use crate::error::ScenarioError;
+use electrifi_faults::{AssertionSpec, CouplingSpec, DisturbanceSpec};
 use hybrid1905::probing::ProbingPolicy;
 use simnet::appliance::ApplianceKind;
 use simnet::schedule::Schedule;
@@ -51,6 +53,12 @@ pub struct ScenarioSpec {
     pub probing: ProbingPolicy,
     /// Experiments to run.
     pub experiments: Vec<ExperimentKind>,
+    /// Scripted disturbance track (empty = undisturbed run).
+    pub disturbances: Vec<DisturbanceSpec>,
+    /// Coupling rules: event A triggers effect B after a delay.
+    pub couplings: Vec<CouplingSpec>,
+    /// Declarative invariants evaluated in-sim over disturbed runs.
+    pub assertions: Vec<AssertionSpec>,
 }
 
 /// How the grid is obtained.
@@ -254,6 +262,9 @@ pub enum ExperimentKind {
     Fig07,
     /// Probing-policy evaluation over same-network PLC links.
     Probing,
+    /// Disturbance-track run: scripted faults, gated estimation and the
+    /// assertion engine's verdict.
+    Disturbance,
 }
 
 impl ExperimentKind {
@@ -263,6 +274,7 @@ impl ExperimentKind {
             ExperimentKind::Fig03 => "fig03",
             ExperimentKind::Fig07 => "fig07",
             ExperimentKind::Probing => "probing",
+            ExperimentKind::Disturbance => "disturbance",
         }
     }
 }
@@ -633,9 +645,10 @@ pub fn parse_experiments(at: &At) -> Result<Vec<ExperimentKind>, ScenarioError> 
             "fig03" => ExperimentKind::Fig03,
             "fig07" => ExperimentKind::Fig07,
             "probing" => ExperimentKind::Probing,
+            "disturbance" => ExperimentKind::Disturbance,
             other => {
                 return Err(e.invalid(format!(
-                    "unknown experiment {other:?} (one of: fig03, fig07, probing)"
+                    "unknown experiment {other:?} (one of: fig03, fig07, probing, disturbance)"
                 )))
             }
         };
@@ -663,6 +676,9 @@ impl ScenarioSpec {
             "workload",
             "probing",
             "experiments",
+            "disturbances",
+            "couplings",
+            "assertions",
         ])?;
         let name = root.req("name")?.str()?.to_string();
         if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
@@ -671,6 +687,10 @@ impl ScenarioSpec {
                  (they become file names)",
             ));
         }
+        let disturbances = match root.opt("disturbances") {
+            Some(d) => parse_disturbances(&d)?,
+            None => Vec::new(),
+        };
         Ok(ScenarioSpec {
             name,
             description: match root.opt("description") {
@@ -693,6 +713,15 @@ impl ScenarioSpec {
             experiments: match root.opt("experiments") {
                 Some(e) => parse_experiments(&e)?,
                 None => vec![ExperimentKind::Fig03],
+            },
+            disturbances: disturbances.clone(),
+            couplings: match root.opt("couplings") {
+                Some(c) => parse_couplings(&c, &disturbances)?,
+                None => Vec::new(),
+            },
+            assertions: match root.opt("assertions") {
+                Some(a) => parse_assertions(&a)?,
+                None => Vec::new(),
             },
         })
     }

@@ -354,6 +354,13 @@ pub(crate) fn finalize_job(core: &Arc<Core>, id: &str) {
     // the served summary byte-identical to `campaign`'s.
     let records: Vec<RunRecord> = shard_results.into_iter().flatten().collect();
     let summary = summarize(&job.spec, &job.runs, records);
+    // Assertion-verdict rollup for the status endpoint: only set when
+    // some run actually carried a verdict, so plain campaigns keep
+    // reporting `verdict: null`.
+    let with_verdict = summary.runs.iter().filter(|r| r.verdict.is_some()).count();
+    if with_verdict > 0 {
+        lock(&core.sched).set_assertion_failures(id, summary.failed_verdicts().len() as u64);
+    }
     match write_artifacts(&summary, &job.dir) {
         Ok(()) => {
             let bytes = serde_json::to_string_pretty(&summary)

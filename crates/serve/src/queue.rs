@@ -111,6 +111,10 @@ pub struct JobEntry<R> {
     pub status: JobStatus,
     /// First failure message, if any.
     pub error: Option<String>,
+    /// Assertion-verdict rollup, set at finalize: `Some(n)` = the job's
+    /// runs carried verdicts and `n` of them failed; `None` = not yet
+    /// finalized, or no run executed a disturbance experiment.
+    pub assertion_failures: Option<u64>,
     /// `[start, end)` run ranges, one per shard.
     ranges: Vec<(usize, usize)>,
     shards: Vec<ShardState>,
@@ -239,6 +243,7 @@ impl<R> Scheduler<R> {
             total_runs,
             status: JobStatus::Queued,
             error: None,
+            assertion_failures: None,
             ranges,
             shards,
             results,
@@ -362,6 +367,15 @@ impl<R> Scheduler<R> {
             }
         }
         released
+    }
+
+    /// Record the finalized job's assertion-verdict rollup: how many of
+    /// its runs failed their verdict (call only when at least one run
+    /// carried a verdict).
+    pub fn set_assertion_failures(&mut self, id: &str, failed: u64) {
+        if let Some(job) = self.jobs.iter_mut().find(|j| j.id == id) {
+            job.assertion_failures = Some(failed);
+        }
     }
 
     /// Move a finalizing job to its terminal state. `error == None`

@@ -462,6 +462,11 @@ struct StatusDoc {
     shards_done: u64,
     error: Option<String>,
     events_dropped: u64,
+    /// `"pass"` / `"fail"` once a job with disturbance runs finalizes;
+    /// `null` while running or when no run carried a verdict.
+    verdict: Option<String>,
+    /// Runs whose assertion verdict failed (0 until finalized).
+    verdict_failures: u64,
 }
 
 #[derive(Serialize)]
@@ -491,6 +496,10 @@ fn status_doc(entry: &crate::queue::JobEntry<Vec<RunRecord>>, dropped: u64) -> S
         shards_done: entry.shards_done() as u64,
         error: entry.error.clone(),
         events_dropped: dropped,
+        verdict: entry
+            .assertion_failures
+            .map(|n| if n == 0 { "pass" } else { "fail" }.to_string()),
+        verdict_failures: entry.assertion_failures.unwrap_or(0),
     }
 }
 

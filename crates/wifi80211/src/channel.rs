@@ -19,6 +19,7 @@
 //!   into the large throughput variance of Fig. 3/4.
 
 use crate::mcs::Mcs;
+use electrifi_faults::JamProfile;
 use serde::{Deserialize, Serialize};
 use simnet::geometry::{Floor, Point};
 use simnet::noise::{impulse_at, ValueNoise};
@@ -91,6 +92,9 @@ pub struct WifiChannel {
     fast: ValueNoise,
     slow: ValueNoise,
     interference_seed: u64,
+    /// Scripted jamming profile (fault track): an SNR penalty as a pure
+    /// function of time. `None` when no jamming burst is scripted.
+    jam: Option<JamProfile>,
 }
 
 impl WifiChannel {
@@ -116,7 +120,21 @@ impl WifiChannel {
             fast: ValueNoise::new(link_seed ^ 0xFA57),
             slow: ValueNoise::new(link_seed ^ 0x510E),
             interference_seed: link_seed ^ 0x1F7E,
+            jam: None,
         }
+    }
+
+    /// Attach (or clear) the scripted jamming profile. Jamming subtracts
+    /// a time-windowed SNR penalty, so a jammed channel remains a pure
+    /// function of time; with `None` (the default) `snr_db` is
+    /// bit-identical to an unjammed channel.
+    pub fn set_jam_profile(&mut self, jam: Option<JamProfile>) {
+        self.jam = jam;
+    }
+
+    /// The scripted jamming profile, if one is attached.
+    pub fn jam_profile(&self) -> Option<&JamProfile> {
+        self.jam.as_ref()
     }
 
     /// Straight-line distance between the endpoints, metres.
@@ -155,6 +173,12 @@ impl WifiChannel {
             )
         {
             snr -= p.interference_db;
+        }
+        if let Some(jam) = &self.jam {
+            let penalty = jam.penalty_db(t);
+            if penalty != 0.0 {
+                snr -= penalty;
+            }
         }
         snr
     }
@@ -258,6 +282,28 @@ mod tests {
         let day = sample_std(Time::from_hours(10));
         let night = sample_std(Time::from_hours(26)); // 2 am next day
         assert!(day > night, "day={day} night={night}");
+    }
+
+    #[test]
+    fn jam_profile_cuts_snr_only_inside_its_window() {
+        use electrifi_faults::JamWindow;
+        let mut c = chan(10.0, 9);
+        let clean_early = c.snr_db(Time::from_secs(5));
+        let clean_mid = c.snr_db(Time::from_secs(15));
+        c.set_jam_profile(Some(JamProfile {
+            windows: vec![JamWindow {
+                start_ns: Time::from_secs(10).as_nanos(),
+                end_ns: Time::from_secs(20).as_nanos(),
+                penalty_db: 30.0,
+            }],
+        }));
+        assert_eq!(c.snr_db(Time::from_secs(5)), clean_early);
+        assert_eq!(c.snr_db(Time::from_secs(15)), clean_mid - 30.0);
+        assert_eq!(c.snr_db(Time::from_secs(25)), {
+            let mut u = chan(10.0, 9);
+            u.set_jam_profile(None);
+            u.snr_db(Time::from_secs(25))
+        });
     }
 
     #[test]

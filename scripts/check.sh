@@ -167,6 +167,61 @@ set -e
 [ "$RC_HELP" -eq 0 ] || { echo "--help must exit 0, got $RC_HELP"; exit 1; }
 echo "exit codes OK: usage=2 io=3 help=0"
 
+echo "== disturbance gate smoke (verdict pass=0, fail fixture=5, serve verdict) =="
+# A gated campaign that holds its assertions exits 0 and writes a typed
+# verdict block per run; the deliberately failing fixture still writes
+# its summary (the run *succeeded* — the invariant did not) and exits 5.
+rm -rf out/disturbance-gate out/disturbance-fail
+./target/release/campaign scenarios/disturbance-campaign.json --workers 2 \
+    --out out/disturbance-gate
+python3 - <<'PY'
+import json
+s = json.load(open("out/disturbance-gate/summary.json"))
+runs = [r for r in s["runs"] if r.get("verdict")]
+assert runs, "no run carried a verdict block"
+for r in runs:
+    v = r["verdict"]
+    assert v["pass"], f"verdict failed in passing campaign: {v}"
+    assert v["assertions"], "verdict carries no assertions"
+    assert all(a["pass"] for a in v["assertions"])
+print(f"verdict OK: {len(runs)} gated run(s), "
+      f"{sum(len(r['verdict']['assertions']) for r in runs)} assertion(s) held")
+PY
+set +e
+./target/release/campaign scenarios/disturbance-fail-campaign.json \
+    --out out/disturbance-fail 2>/dev/null; RC_ASSERT=$?
+set -e
+[ "$RC_ASSERT" -eq 5 ] || { echo "failing fixture must exit 5, got $RC_ASSERT"; exit 1; }
+python3 - <<'PY'
+import json
+s = json.load(open("out/disturbance-fail/summary.json"))
+v = s["runs"][0]["verdict"]
+assert v is not None and not v["pass"], f"fail fixture must carry a failing verdict: {v}"
+print("fail fixture OK: exit 5 with summary.json intact and verdict.pass=false")
+PY
+# The control plane surfaces the same rollup: job status carries
+# verdict/pass and `servectl verdict` prints the per-assertion table.
+rm -rf out/serve-verdict
+# The campaign file names its scenario by sibling path, so the server
+# resolves against scenarios/ (the CLI resolves against the campaign
+# file's own directory).
+./target/release/serve --unix out/serve-verdict/ctl.sock --out out/serve-verdict \
+    --scenario-root scenarios --workers 2 --shard-size 1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S out/serve-verdict/ctl.sock ] && break; sleep 0.1; done
+SUBMIT=$(./target/release/servectl --unix out/serve-verdict/ctl.sock submit scenarios/disturbance-campaign.json)
+JOB=$(python3 -c "import json,sys; print(json.loads(sys.argv[1])['id'])" "$SUBMIT")
+./target/release/servectl --unix out/serve-verdict/ctl.sock wait "$JOB" --timeout 300 > /dev/null
+STATUS=$(./target/release/servectl --unix out/serve-verdict/ctl.sock status "$JOB")
+python3 -c "import json,sys; d = json.loads(sys.argv[1]); \
+    assert d.get('verdict') == 'pass' and d.get('verdict_failures') == 0, d" "$STATUS"
+./target/release/servectl --unix out/serve-verdict/ctl.sock verdict "$JOB"
+./target/release/servectl --unix out/serve-verdict/ctl.sock shutdown > /dev/null
+wait "$SERVE_PID"
+trap - EXIT
+echo "disturbance gate OK: pass campaign=0, fail fixture=5, serve verdict surfaced"
+
 echo "== bench smoke + perf gate (correctness invariants only) =="
 # Tiny windows: exercises the zero-alloc MAC loop, the zero-alloc PHY
 # spectrum hot path, and the bit-identity digests on every change.

@@ -95,6 +95,53 @@ else
   echo "== campaigns ==  (none found under out/*/)"
 fi
 
+# --- disturbance verdicts ----------------------------------------------
+# Gated campaigns (experiments: ["disturbance"]) carry a typed verdict
+# block per run: one pass/fail line per declared assertion plus the
+# worst observed recovery time. Aggregate across every summary under
+# out/: a table of per-assertion-kind pass counts and recovery stats.
+if compgen -G "out/*/summary.json" > /dev/null; then
+  python3 - <<'PY'
+import glob, json
+
+kinds = {}   # kind -> [passed, total]
+recov = []   # per-run worst recovery, seconds
+runs = fails = 0
+for path in sorted(glob.glob("out/*/summary.json")):
+    try:
+        with open(path) as f:
+            s = json.load(f)
+    except (OSError, ValueError):
+        continue
+    for run in s.get("runs", []):
+        v = run.get("verdict")
+        if not v:
+            continue
+        runs += 1
+        if not v.get("pass"):
+            fails += 1
+        for a in v.get("assertions", []):
+            k = kinds.setdefault(a["kind"], [0, 0])
+            k[0] += 1 if a["pass"] else 0
+            k[1] += 1
+        if v.get("max_recovery_s") is not None:
+            recov.append(v["max_recovery_s"])
+if runs:
+    print("== disturbance verdicts ==")
+    print(f"{runs} gated run(s), {runs - fails} passed, {fails} failed")
+    print(f"  {'assertion':<28}{'passed':>8}{'total':>7}")
+    for kind in sorted(kinds):
+        p, t = kinds[kind]
+        flag = "" if p == t else "   <-- FAILING"
+        print(f"  {kind:<28}{p:>8}{t:>7}{flag}")
+    if recov:
+        recov.sort()
+        print(f"  recovery: worst={recov[-1]:.3f}s"
+              f"  median={recov[len(recov) // 2]:.3f}s"
+              f"  over {len(recov)} run(s)")
+PY
+fi
+
 # --- serve control plane -----------------------------------------------
 # The serve binary periodically (and on shutdown) writes
 # out/<dir>/server.metrics.json in the standard MetricsSnapshot shape:
